@@ -1,0 +1,67 @@
+#![deny(missing_docs)]
+
+//! # capstan-apps
+//!
+//! The eleven applications of the Capstan paper (Table 2) plus five
+//! extension apps, each expressed in the declarative programming model of
+//! [`capstan_core::program`]:
+//!
+//! | App        | Format        | Outer loop        | Inner loop         | Random accesses        |
+//! |------------|---------------|-------------------|--------------------|------------------------|
+//! | CSR SpMV   | CSR           | dense rows        | dense cols-in-row  | `V[c]`                 |
+//! | COO SpMV   | COO           | dense non-zeros   | —                  | `V[c]`, `Out[r]`       |
+//! | CSC SpMV   | CSC           | sparse inputs     | dense rows-in-col  | `Out[r]`               |
+//! | Conv       | dense/COO     | sparse activations| dense kernel nnz   | `Out[...]` (halo)      |
+//! | PR-Pull    | CSR           | dense nodes       | dense in-edges     | `rank[s]`              |
+//! | PR-Edge    | COO           | dense edges       | —                  | `rank[s]`, `acc[d]`    |
+//! | BFS        | bitset + CSC  | sparse frontier   | dense out-edges    | `Rch[d]`, `Ptr[d]`     |
+//! | SSSP       | bitset + CSC  | sparse frontier   | dense out-edges    | `Dist[d]`, `Ptr[d]`    |
+//! | M+M        | CSR bit-tree  | dense rows        | sp-sp union        | —                      |
+//! | SpMSpM     | CSR (+bit)    | dense rows        | sp-sp ∪/∩ passes   | `Val[i][k]`, `C[i][k]` |
+//! | BiCGStab   | CSR + dense   | solver iterations | fused SpMV + BLAS1 | `V[c]`                 |
+//! | SpMM/GCN   | CSR + dense   | dense rows        | dense features     | `XW[j][k]` (row fetch) |
+//! | CG         | CSR + dense   | solver iterations | fused SpMV + BLAS1 | `x[c]`                 |
+//! | BCSR SpMV  | BCSR          | dense block rows  | dense block        | — (contiguous `x`)     |
+//! | DCSR SpMV  | DCSR          | sparse rows       | dense cols-in-row  | `V[c]`                 |
+//!
+//! Every app provides: a CPU **reference** implementation, a **recorded**
+//! Capstan execution (functionally correct and traced), and the [`App`]
+//! interface the experiment harness drives.
+//!
+//! Beyond the paper's table, three **extension applications** exercise the
+//! same primitives on workloads the paper motivates but does not evaluate:
+//! [`gnn`] (SpMM and a fused GCN layer — the "graph neural networks" of
+//! §5), a conjugate-gradient solver (the Krylov-method motivation of §1),
+//! and a BCSR SpMV (the block-sparse format of §2.1).
+
+pub mod bfs;
+pub mod bicgstab;
+pub mod cg;
+pub mod common;
+pub mod conv;
+pub mod gnn;
+pub mod mpm;
+pub mod pagerank;
+pub mod spmspm;
+pub mod spmv;
+pub mod sssp;
+
+use capstan_core::config::CapstanConfig;
+use capstan_core::program::Workload;
+use capstan_core::report::PerfReport;
+
+/// A benchmark application that can be mapped onto Capstan.
+pub trait App {
+    /// Display name (matching the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// Records the application's execution as a workload under the given
+    /// configuration (scanner widths and sampling limits affect the
+    /// recording).
+    fn build(&self, cfg: &CapstanConfig) -> Workload;
+
+    /// Simulates the application end to end.
+    fn simulate(&self, cfg: &CapstanConfig) -> PerfReport {
+        capstan_core::perf::simulate(&self.build(cfg), cfg)
+    }
+}

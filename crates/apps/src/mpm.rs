@@ -1,0 +1,195 @@
+//! Sparse matrix addition ("M+M", paper Table 2) with bit-tree rows.
+//!
+//! Matrix addition iterates the *union* of two compressed rows. At the
+//! paper's M+M densities (circuit matrices, ~0.01-0.2%), flat bit-vectors
+//! would mostly scan zeros, so the rows use the two-level **bit-tree**
+//! format: "bit-vector sparsity begins to break down when applied to
+//! extremely sparse problems ... For such problems, sparse iteration can
+//! be nested to support the bit-tree format" (§2.3). This is the paper's
+//! most scanner-sensitive app (Fig. 6a: "even scanning 128 bits would
+//! slow M+M by 21%, so we scan 256 bits per cycle").
+
+use crate::App;
+use capstan_core::config::CapstanConfig;
+use capstan_core::program::{Workload, WorkloadBuilder};
+use capstan_tensor::bittree::BitTree;
+use capstan_tensor::{Coo, Csr, Index, Value};
+
+use capstan_arch::scanner::ScanMode;
+
+/// Sparse matrix addition `C = A + B` over CSR-bit-tree rows.
+#[derive(Debug, Clone)]
+pub struct MatrixAdd {
+    a: Csr,
+    b: Csr,
+}
+
+impl MatrixAdd {
+    /// Creates the benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn new(a: &Coo, b: &Coo) -> Self {
+        assert_eq!(a.rows(), b.rows(), "row mismatch");
+        assert_eq!(a.cols(), b.cols(), "col mismatch");
+        MatrixAdd {
+            a: Csr::from_coo(a),
+            b: Csr::from_coo(b),
+        }
+    }
+
+    /// Builds the paper's pairing: the dataset matrix plus a structurally
+    /// shifted copy of itself (a deterministic second operand with
+    /// overlapping and non-overlapping entries).
+    pub fn self_shifted(m: &Coo) -> Self {
+        let cols = m.cols();
+        let shifted: Vec<(Index, Index, Value)> = m
+            .iter()
+            .map(|(r, c, v)| (r, (c as usize + 1).min(cols - 1) as Index, v * 0.5))
+            .collect();
+        let b = Coo::from_triplets(m.rows(), cols, shifted).expect("shift stays in bounds");
+        MatrixAdd::new(m, &b)
+    }
+
+    /// CPU reference: `C = A + B`.
+    pub fn reference(&self) -> Coo {
+        let mut triplets: Vec<(Index, Index, Value)> = Vec::new();
+        for r in 0..self.a.rows() {
+            for (c, v) in self.a.row(r) {
+                triplets.push((r as Index, c, v));
+            }
+            for (c, v) in self.b.row(r) {
+                triplets.push((r as Index, c, v));
+            }
+        }
+        Coo::from_triplets(self.a.rows(), self.a.cols(), triplets).expect("valid result")
+    }
+
+    /// Records the Capstan execution.
+    pub fn record(&self, cfg: &CapstanConfig) -> (Workload, Coo) {
+        let tiles = cfg.effective_outer_par(2);
+        let rows = self.a.rows();
+        let cols = self.a.cols();
+        let mut wl = WorkloadBuilder::for_config("M+M", cfg);
+        // Nested scanning uses a scanner-only CU feeding a compute CU
+        // (paper §3.3).
+        wl.set_cus_per_pipeline(2);
+        let mut triplets: Vec<(Index, Index, Value)> = Vec::new();
+        for tile in 0..tiles {
+            let mut t = wl.tile();
+            let mut tile_nnz = 0usize;
+            for r in crate::common::round_robin(rows, tiles, tile) {
+                let a_cols = self.a.row_cols(r);
+                let b_cols = self.b.row_cols(r);
+                let a_vals = self.a.row_values(r);
+                let b_vals = self.b.row_values(r);
+                tile_nnz += a_cols.len() + b_cols.len();
+                let a_tree = BitTree::from_indices(cols, a_cols).expect("cols fit bit-tree");
+                let b_tree = BitTree::from_indices(cols, b_cols).expect("cols fit bit-tree");
+                t.scan_bittree(ScanMode::Union, &a_tree, &b_tree, |_, pos| {
+                    let av = match a_cols.binary_search(&pos) {
+                        Ok(i) => a_vals[i],
+                        Err(_) => 0.0,
+                    };
+                    let bv = match b_cols.binary_search(&pos) {
+                        Ok(i) => b_vals[i],
+                        Err(_) => 0.0,
+                    };
+                    triplets.push((r as Index, pos, av + bv));
+                });
+            }
+            // Row bit-trees and values stream in; the output row streams
+            // out (C[r].end prefix sums ride along).
+            t.dram_stream_read(tile_nnz * 8);
+            t.dram_stream_write(tile_nnz * 8);
+            wl.commit(t);
+        }
+        let c = Coo::from_triplets(rows, cols, triplets).expect("valid output");
+        (wl.finish(), c)
+    }
+}
+
+impl App for MatrixAdd {
+    fn name(&self) -> &'static str {
+        "M+M"
+    }
+
+    fn build(&self, cfg: &CapstanConfig) -> Workload {
+        self.record(cfg).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capstan_tensor::gen::Dataset;
+
+    fn small() -> MatrixAdd {
+        MatrixAdd::self_shifted(&Dataset::Ckt11752.generate_scaled(0.02))
+    }
+
+    #[test]
+    fn sum_matches_reference() {
+        let app = small();
+        let cfg = CapstanConfig::paper_default();
+        let (_, c) = app.record(&cfg);
+        let reference = app.reference();
+        assert_eq!(c.nnz(), reference.nnz());
+        for (x, y) in c.iter().zip(reference.iter()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1, y.1);
+            assert!((x.2 - y.2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn emits_union_cardinality() {
+        let app = small();
+        let cfg = CapstanConfig::paper_default();
+        let (wl, c) = app.record(&cfg);
+        let emitted: u64 = wl.tiles.iter().map(|t| t.scan_emitted).sum();
+        // Union size = output nnz (cancellation to exact zero is possible
+        // but the generators avoid it).
+        assert_eq!(emitted, c.nnz() as u64);
+    }
+
+    #[test]
+    fn uses_two_cus_per_pipeline() {
+        let app = small();
+        let cfg = CapstanConfig::paper_default();
+        let wl = app.build(&cfg);
+        assert_eq!(wl.cus_per_pipeline, 2);
+        let report = app.simulate(&cfg);
+        assert_eq!(report.pipelines, cfg.effective_outer_par(2));
+    }
+
+    #[test]
+    fn scanner_dominated_profile() {
+        // M+M has no random SRAM traffic: the scanner is the story.
+        let app = small();
+        let cfg = CapstanConfig::paper_default();
+        let wl = app.build(&cfg);
+        let sram: u64 = wl.tiles.iter().map(|t| t.sram.total_requests).sum();
+        assert_eq!(sram, 0);
+        let scan: u64 = wl.tiles.iter().map(|t| t.scan_cycles).sum();
+        assert!(scan > 0);
+    }
+
+    #[test]
+    fn narrow_scanner_hurts_mpm() {
+        // Fig. 6a: M+M slows substantially with a narrow bit scanner.
+        let app = small();
+        let wide = CapstanConfig::paper_default();
+        let mut narrow = wide;
+        narrow.scanner = capstan_arch::scanner::BitVecScanner::new(16, 16);
+        let fast = app.simulate(&wide);
+        let slow = app.simulate(&narrow);
+        assert!(
+            slow.cycles > fast.cycles,
+            "narrow {} should exceed wide {}",
+            slow.cycles,
+            fast.cycles
+        );
+    }
+}

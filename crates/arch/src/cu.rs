@@ -1,0 +1,165 @@
+//! Compute unit (CU) pipeline model.
+//!
+//! Paper §4.1: "Each CU has 16 vector lanes and 6 vector stages; stages
+//! perform a map or a reduce operation on 32-bit fixed- or floating-point
+//! data. Loops can be parallelized at two levels: within a vector
+//! (inner-par) and across multiple vectorized CUs (outer-par). Loops
+//! execute at most once per cycle, so an iteration count not divisible by
+//! 16 will leave inactive lanes."
+//!
+//! §3.3: "For programs that nest more than one scanner, a CU can be used
+//! in a scanner-only mode to feed a second CU."
+
+/// Role a CU is configured for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CuMode {
+    /// Normal vector compute (map/reduce stages active).
+    #[default]
+    Compute,
+    /// Scanner-only mode: the datapath is bypassed and only the scanner
+    /// feeds a downstream CU (paper §3.3).
+    ScannerOnly,
+}
+
+/// Static shape of one compute unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeUnit {
+    /// SIMD lanes (paper: 16).
+    pub lanes: usize,
+    /// Pipeline stages (paper: 6).
+    pub stages: usize,
+    /// Configured role.
+    pub mode: CuMode,
+}
+
+impl Default for ComputeUnit {
+    fn default() -> Self {
+        ComputeUnit {
+            lanes: 16,
+            stages: 6,
+            mode: CuMode::Compute,
+        }
+    }
+}
+
+/// Cycle estimate for one vectorized loop on one CU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopCost {
+    /// Steady-state issue cycles (one vector per cycle).
+    pub issue_cycles: u64,
+    /// Pipeline fill/drain latency.
+    pub fill_cycles: u64,
+    /// Lane-slots wasted to non-multiple-of-lanes iteration counts.
+    pub idle_lane_slots: u64,
+}
+
+impl LoopCost {
+    /// Total cycles (issue + fill).
+    pub fn total(&self) -> u64 {
+        self.issue_cycles + self.fill_cycles
+    }
+}
+
+impl ComputeUnit {
+    /// Costs a vectorized map loop of `iterations` whose body needs
+    /// `body_ops` pipeline operations.
+    ///
+    /// A body with at most `stages` ops runs at initiation interval 1;
+    /// longer bodies re-circulate, multiplying the interval (real
+    /// mappings would split across chained CUs instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CU is in scanner-only mode.
+    pub fn map_loop(&self, iterations: u64, body_ops: usize) -> LoopCost {
+        assert!(
+            self.mode == CuMode::Compute,
+            "scanner-only CUs have no datapath (paper §3.3)"
+        );
+        let vectors = iterations.div_ceil(self.lanes as u64);
+        let ii = body_ops.div_ceil(self.stages).max(1) as u64;
+        LoopCost {
+            issue_cycles: vectors * ii,
+            fill_cycles: self.stages as u64,
+            idle_lane_slots: vectors * self.lanes as u64 - iterations,
+        }
+    }
+
+    /// Costs a vectorized sum-reduce of `iterations` elements: a map pass
+    /// plus the cross-lane reduction tree (`log2(lanes)` levels), which
+    /// pipelines with the loop at one extra fill.
+    pub fn reduce_loop(&self, iterations: u64, body_ops: usize) -> LoopCost {
+        let mut cost = self.map_loop(iterations, body_ops.max(1));
+        cost.fill_cycles += (self.lanes as u64).ilog2() as u64;
+        cost
+    }
+
+    /// Lane efficiency of a loop (useful lane-slots / issued lane-slots).
+    pub fn lane_efficiency(&self, iterations: u64) -> f64 {
+        if iterations == 0 {
+            return 0.0;
+        }
+        let vectors = iterations.div_ceil(self.lanes as u64);
+        iterations as f64 / (vectors * self.lanes as u64) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_vectors_issue_once_per_cycle() {
+        let cu = ComputeUnit::default();
+        let cost = cu.map_loop(160, 4);
+        assert_eq!(cost.issue_cycles, 10);
+        assert_eq!(cost.fill_cycles, 6);
+        assert_eq!(cost.idle_lane_slots, 0);
+    }
+
+    #[test]
+    fn short_loops_waste_lanes() {
+        let cu = ComputeUnit::default();
+        // Paper: "an iteration count not divisible by 16 will leave
+        // inactive lanes".
+        let cost = cu.map_loop(17, 2);
+        assert_eq!(cost.issue_cycles, 2);
+        assert_eq!(cost.idle_lane_slots, 15);
+        assert!((cu.lane_efficiency(17) - 17.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_bodies_recirculate() {
+        let cu = ComputeUnit::default();
+        let short = cu.map_loop(160, 6);
+        let long = cu.map_loop(160, 7); // 7 ops > 6 stages -> II = 2
+        assert_eq!(long.issue_cycles, 2 * short.issue_cycles);
+    }
+
+    #[test]
+    fn reduce_adds_tree_latency() {
+        let cu = ComputeUnit::default();
+        let map = cu.map_loop(160, 2);
+        let red = cu.reduce_loop(160, 2);
+        assert_eq!(red.issue_cycles, map.issue_cycles);
+        assert_eq!(red.fill_cycles, map.fill_cycles + 4); // log2(16)
+    }
+
+    #[test]
+    #[should_panic(expected = "scanner-only")]
+    fn scanner_only_cu_has_no_datapath() {
+        let cu = ComputeUnit {
+            mode: CuMode::ScannerOnly,
+            ..Default::default()
+        };
+        let _ = cu.map_loop(16, 1);
+    }
+
+    #[test]
+    fn zero_iterations() {
+        let cu = ComputeUnit::default();
+        let cost = cu.map_loop(0, 3);
+        assert_eq!(cost.issue_cycles, 0);
+        assert_eq!(cu.lane_efficiency(0), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The accelerator grid: Capstan's chip-level organization.
+//!
+//! Paper §4.1 (Table 7): "a 1:1 ratio of homogeneous compute (CU) and
+//! memory units (MU). These form a 20x20 checkerboard array, ringed by 80
+//! DRAM address generators. ... Each CU has 16 vector lanes and 6 vector
+//! stages. ... On-chip memories are arranged as 16 banks of 4096 32-bit
+//! words each, with 256 KiB per memory (50 MiB total)."
+
+/// Chip-level grid configuration (Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Checkerboard side (20 -> 200 CUs + 200 MUs).
+    pub side: usize,
+    /// DRAM address generators ringing the array.
+    pub ags: usize,
+    /// SIMD lanes per CU.
+    pub lanes: usize,
+    /// Pipeline stages per CU.
+    pub stages: usize,
+    /// SRAM banks per SpMU.
+    pub banks: usize,
+    /// Words per bank.
+    pub bank_words: usize,
+    /// On-chip shuffle networks (dimension x ports).
+    pub shuffle_on_chip: (usize, usize),
+    /// Off-chip shuffle networks (dimension x ports).
+    pub shuffle_off_chip: (usize, usize),
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            side: 20,
+            ags: 80,
+            lanes: 16,
+            stages: 6,
+            banks: 16,
+            bank_words: 4096,
+            shuffle_on_chip: (2, 16),
+            shuffle_off_chip: (4, 16),
+        }
+    }
+}
+
+impl GridConfig {
+    /// Number of compute units (half the checkerboard).
+    pub fn compute_units(&self) -> usize {
+        self.side * self.side / 2
+    }
+
+    /// Number of sparse memory units.
+    pub fn memory_units(&self) -> usize {
+        self.side * self.side / 2
+    }
+
+    /// Bytes of on-chip SRAM per memory unit.
+    pub fn sram_bytes_per_mu(&self) -> usize {
+        self.banks * self.bank_words * 4
+    }
+
+    /// Total on-chip SRAM bytes.
+    pub fn total_sram_bytes(&self) -> usize {
+        self.memory_units() * self.sram_bytes_per_mu()
+    }
+
+    /// Peak lane-operations per cycle across all CUs.
+    pub fn peak_lane_ops_per_cycle(&self) -> usize {
+        self.compute_units() * self.lanes
+    }
+
+    /// Maximum outer parallelism: how many (CU, MU) pipeline pairs the
+    /// fabric can host. Apps that need a scanner-only CU feeding a compute
+    /// CU (paper §3.3) consume `cus_per_pipeline = 2`.
+    pub fn max_outer_parallel(&self, cus_per_pipeline: usize) -> usize {
+        assert!(cus_per_pipeline > 0, "a pipeline needs at least one CU");
+        (self.compute_units() / cus_per_pipeline).min(self.memory_units())
+    }
+
+    /// A scaled-down grid for sensitivity studies (Fig. 5b): `fraction` of
+    /// the paper's unit counts, minimum 2x2.
+    pub fn scaled(&self, fraction: f64) -> GridConfig {
+        let side = ((self.side as f64 * fraction.sqrt()).round() as usize).max(2);
+        GridConfig {
+            side,
+            ags: ((self.ags as f64 * fraction).round() as usize).max(4),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_resources() {
+        let g = GridConfig::default();
+        assert_eq!(g.compute_units(), 200);
+        assert_eq!(g.memory_units(), 200);
+        assert_eq!(g.sram_bytes_per_mu(), 256 * 1024);
+        // "50 MiB total" on-chip SRAM.
+        assert_eq!(g.total_sram_bytes(), 50 * 1024 * 1024);
+        // "Capstan can process up to 128 elements per cycle" refers to one
+        // spatial pipeline group; chip-wide peak is 200 CUs x 16 lanes.
+        assert_eq!(g.peak_lane_ops_per_cycle(), 3200);
+    }
+
+    #[test]
+    fn outer_parallelism_accounts_for_scanner_only_cus() {
+        let g = GridConfig::default();
+        assert_eq!(g.max_outer_parallel(1), 200);
+        assert_eq!(g.max_outer_parallel(2), 100);
+    }
+
+    #[test]
+    fn scaling_shrinks_the_array() {
+        let g = GridConfig::default();
+        let half = g.scaled(0.5);
+        assert!(half.compute_units() < g.compute_units());
+        assert!(half.compute_units() >= g.compute_units() / 3);
+        let tiny = g.scaled(0.01);
+        assert!(tiny.side >= 2);
+    }
+}

@@ -1,0 +1,486 @@
+//! The shuffle network (paper §3.2).
+//!
+//! "Shuffle networks combine requests between parallel outer-loop
+//! iterations while respecting structural hazards and ordering
+//! constraints. Each is built out of merge units arranged in a butterfly
+//! topology. ... each merge unit takes two vectors of incoming requests
+//! and tests a single address bit that determines whether they are
+//! forwarded to its half or dropped. Then, the merge unit combines the
+//! vectors, shuffling valid entries by up to one lane in either direction."
+//!
+//! The lane-shift flexibility is the design variable evaluated in
+//! Table 11: `Mrg-0` (no shifting), `Mrg-1` (±1, the design point), and
+//! `Mrg-16` (a full crossbar). Restricted shifting keeps the inverse
+//! permutation small: "the merge unit tracks its decisions in a 48-bit
+//! (3 bits per lane), 64-entry FIFO".
+
+/// Lane-shift flexibility of a merge unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeShift {
+    /// Entries keep their lane (Table 11's `Mrg-0`).
+    None,
+    /// Entries may move ±1 lane (`Mrg-1`, the paper's design point).
+    One,
+    /// Full compaction crossbar (`Mrg-16`).
+    Full,
+}
+
+impl MergeShift {
+    /// Maximum lane displacement.
+    pub fn radius(self, lanes: usize) -> usize {
+        match self {
+            MergeShift::None => 0,
+            MergeShift::One => 1,
+            MergeShift::Full => lanes,
+        }
+    }
+
+    /// Display name matching Table 11.
+    pub fn name(self) -> &'static str {
+        match self {
+            MergeShift::None => "Mrg-0",
+            MergeShift::One => "Mrg-1",
+            MergeShift::Full => "Mrg-16",
+        }
+    }
+}
+
+/// One request traversing the shuffle network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShuffleEntry {
+    /// Destination port (memory partition id).
+    pub dest: u32,
+    /// Lane the entry currently occupies.
+    pub lane: usize,
+}
+
+/// A vector of requests on one network link (one entry per lane).
+pub type ShuffleVector = Vec<Option<ShuffleEntry>>;
+
+/// Statistics from merging two lane-aligned vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Output vectors produced (cycles consumed on the output port).
+    pub output_vectors: u64,
+    /// Entries that could not be placed in the first output vector and
+    /// spilled into an overflow vector.
+    pub deferred_entries: u64,
+    /// Total entries forwarded.
+    pub entries: u64,
+}
+
+/// Merges the entries of two vectors into as few output vectors as the
+/// shift radius allows. Entries keep relative order; an entry at input
+/// lane `l` may land in output lanes `l ± radius`.
+///
+/// Returns the produced output vectors and statistics. This is the inner
+/// operation of one merge-unit half (paper Fig. 3e).
+pub fn merge_vectors(
+    a: &ShuffleVector,
+    b: &ShuffleVector,
+    lanes: usize,
+    shift: MergeShift,
+) -> (Vec<ShuffleVector>, MergeStats) {
+    let radius = shift.radius(lanes);
+    // Gather entries sorted by source lane (stable across the two inputs:
+    // the hardware interleaves the two vectors' lanes).
+    let mut entries: Vec<ShuffleEntry> = Vec::new();
+    for lane in 0..lanes {
+        for side in [a, b] {
+            if let Some(e) = side.get(lane).copied().flatten() {
+                entries.push(ShuffleEntry { dest: e.dest, lane });
+            }
+        }
+    }
+    let mut stats = MergeStats {
+        entries: entries.len() as u64,
+        ..Default::default()
+    };
+    let mut outputs: Vec<ShuffleVector> = Vec::new();
+    let mut remaining = entries;
+    while !remaining.is_empty() {
+        let mut out: ShuffleVector = vec![None; lanes];
+        let mut deferred: Vec<ShuffleEntry> = Vec::new();
+        let mut next_free = 0usize;
+        for e in remaining {
+            let lo = e.lane.saturating_sub(radius).max(next_free);
+            let hi = (e.lane + radius).min(lanes - 1);
+            if lo <= hi {
+                out[lo] = Some(ShuffleEntry {
+                    dest: e.dest,
+                    lane: lo,
+                });
+                next_free = lo + 1;
+            } else {
+                deferred.push(e);
+            }
+        }
+        stats.deferred_entries += deferred.len() as u64;
+        outputs.push(out);
+        remaining = deferred;
+        stats.output_vectors += 1;
+    }
+    if outputs.is_empty() {
+        outputs.push(vec![None; lanes]);
+        stats.output_vectors = 1;
+    }
+    (outputs, stats)
+}
+
+/// Configuration of a butterfly shuffle network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShuffleConfig {
+    /// Number of input/output ports (power of two; paper: 16).
+    pub ports: usize,
+    /// SIMD lanes per vector (paper: 16).
+    pub lanes: usize,
+    /// Merge-unit lane-shift flexibility.
+    pub shift: MergeShift,
+    /// Decision-FIFO depth per merge unit (paper: 64 entries).
+    pub decision_fifo: usize,
+}
+
+impl Default for ShuffleConfig {
+    fn default() -> Self {
+        ShuffleConfig {
+            ports: 16,
+            lanes: 16,
+            shift: MergeShift::One,
+            decision_fifo: 64,
+        }
+    }
+}
+
+/// Result of routing per-port request streams through the network.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouteResult {
+    /// Cycles to drain the streams (bottleneck-port vector count plus
+    /// pipeline fill).
+    pub cycles: u64,
+    /// Vectors delivered at each output port.
+    pub delivered_vectors: Vec<u64>,
+    /// Entries delivered at each output port.
+    pub delivered_entries: Vec<u64>,
+    /// Entries that bypassed the network (source == destination).
+    pub bypassed: u64,
+}
+
+/// A butterfly network of merge units (paper Fig. 3d).
+#[derive(Debug, Clone)]
+pub struct ButterflyNetwork {
+    cfg: ShuffleConfig,
+}
+
+impl ButterflyNetwork {
+    /// Creates a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is not a power of two greater than 1.
+    pub fn new(cfg: ShuffleConfig) -> Self {
+        assert!(
+            cfg.ports.is_power_of_two() && cfg.ports > 1,
+            "butterfly needs a power-of-two port count > 1"
+        );
+        ButterflyNetwork { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> ShuffleConfig {
+        self.cfg
+    }
+
+    /// Number of merge stages (`log2(ports)`).
+    pub fn stages(&self) -> usize {
+        self.cfg.ports.trailing_zeros() as usize
+    }
+
+    /// Routes per-source streams of request vectors to their destination
+    /// ports. `streams[p]` is the sequence of vectors source `p` injects.
+    ///
+    /// Entries destined for their own source port use the bypass path
+    /// (paper §3.2) and do not load the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len() != ports` or a destination is out of range.
+    pub fn route(&self, streams: &[Vec<ShuffleVector>]) -> RouteResult {
+        assert_eq!(
+            streams.len(),
+            self.cfg.ports,
+            "one stream per port required"
+        );
+        let ports = self.cfg.ports;
+        let lanes = self.cfg.lanes;
+        let mut bypassed = 0u64;
+
+        // Current per-link vector streams; stage s has `ports` links.
+        let mut links: Vec<Vec<ShuffleVector>> = Vec::with_capacity(ports);
+        for (src, stream) in streams.iter().enumerate() {
+            let mut filtered = Vec::with_capacity(stream.len());
+            for v in stream {
+                let mut kept: ShuffleVector = vec![None; lanes];
+                for (lane, e) in v.iter().enumerate() {
+                    if let Some(e) = e {
+                        assert!(
+                            (e.dest as usize) < ports,
+                            "destination {} out of range ({} ports)",
+                            e.dest,
+                            ports
+                        );
+                        if e.dest as usize == src {
+                            bypassed += 1; // bypass path
+                        } else {
+                            kept[lane] = Some(*e);
+                        }
+                    }
+                }
+                filtered.push(kept);
+            }
+            links.push(filtered);
+        }
+
+        let mut bottleneck: u64 = links.iter().map(|s| s.len() as u64).max().unwrap_or(0);
+
+        // Butterfly stages, partitioning on address bits high to low.
+        let stages = self.stages();
+        for stage in 0..stages {
+            let bit = stages - 1 - stage;
+            let mut next: Vec<Vec<ShuffleVector>> = vec![Vec::new(); ports];
+            // Merge units pair links whose ids differ in `bit`.
+            for unit in 0..ports / 2 {
+                let low_bits = unit & ((1 << bit) - 1);
+                let high_bits = (unit >> bit) << (bit + 1);
+                let i0 = high_bits | low_bits; // bit = 0
+                let i1 = i0 | (1 << bit); // bit = 1
+                let (s0, s1) = (&links[i0], &links[i1]);
+                let n = s0.len().max(s1.len());
+                let empty: ShuffleVector = vec![None; lanes];
+                let mut out0: Vec<ShuffleVector> = Vec::new();
+                let mut out1: Vec<ShuffleVector> = Vec::new();
+                for k in 0..n {
+                    let a = s0.get(k).unwrap_or(&empty);
+                    let b = s1.get(k).unwrap_or(&empty);
+                    // Split each input by the tested address bit.
+                    let split = |v: &ShuffleVector, want: u32| -> ShuffleVector {
+                        v.iter()
+                            .map(|e| e.filter(|e| (e.dest >> bit) & 1 == want))
+                            .collect()
+                    };
+                    let (a0, a1) = (split(a, 0), split(a, 1));
+                    let (b0, b1) = (split(b, 0), split(b, 1));
+                    let (m0, _) = merge_vectors(&a0, &b0, lanes, self.cfg.shift);
+                    let (m1, _) = merge_vectors(&a1, &b1, lanes, self.cfg.shift);
+                    out0.extend(m0.into_iter().filter(|v| v.iter().any(Option::is_some)));
+                    out1.extend(m1.into_iter().filter(|v| v.iter().any(Option::is_some)));
+                }
+                next[i0] = out0;
+                next[i1] = out1;
+            }
+            bottleneck = bottleneck.max(next.iter().map(|s| s.len() as u64).max().unwrap_or(0));
+            links = next;
+        }
+
+        let delivered_vectors: Vec<u64> = links.iter().map(|s| s.len() as u64).collect();
+        let delivered_entries: Vec<u64> = links
+            .iter()
+            .map(|s| s.iter().map(|v| v.iter().flatten().count() as u64).sum())
+            .collect();
+        // Pipeline fill: each stage adds one cycle of latency.
+        let cycles = bottleneck + stages as u64;
+        RouteResult {
+            cycles,
+            delivered_vectors,
+            delivered_entries,
+            bypassed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(dest: u32, lane: usize) -> Option<ShuffleEntry> {
+        Some(ShuffleEntry { dest, lane })
+    }
+
+    #[test]
+    fn merge_disjoint_lanes_single_vector() {
+        let a: ShuffleVector = vec![entry(0, 0), None, entry(0, 2), None];
+        let b: ShuffleVector = vec![None, entry(0, 1), None, entry(0, 3)];
+        let (out, stats) = merge_vectors(&a, &b, 4, MergeShift::None);
+        assert_eq!(out.len(), 1);
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.deferred_entries, 0);
+        assert_eq!(out[0].iter().flatten().count(), 4);
+    }
+
+    #[test]
+    fn merge_conflicting_lanes_defers_without_shift() {
+        // Both inputs occupy lane 1: Mrg-0 must spill, Mrg-1 resolves.
+        let a: ShuffleVector = vec![None, entry(0, 1), None, None];
+        let b: ShuffleVector = vec![None, entry(0, 1), None, None];
+        let (out0, s0) = merge_vectors(&a, &b, 4, MergeShift::None);
+        assert_eq!(out0.len(), 2);
+        assert_eq!(s0.deferred_entries, 1);
+        let (out1, s1) = merge_vectors(&a, &b, 4, MergeShift::One);
+        assert_eq!(out1.len(), 1, "{out1:?}");
+        assert_eq!(s1.deferred_entries, 0);
+    }
+
+    #[test]
+    fn full_shift_always_compacts_when_capacity_allows() {
+        // 8 entries from each side into 16 lanes: full crossbar fits all.
+        let a: ShuffleVector = (0..16)
+            .map(|l| if l % 2 == 0 { entry(0, l) } else { None })
+            .collect();
+        let b: ShuffleVector = (0..16)
+            .map(|l| if l % 2 == 0 { entry(0, l) } else { None })
+            .collect();
+        let (out, _) = merge_vectors(&a, &b, 16, MergeShift::Full);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].iter().flatten().count(), 16);
+    }
+
+    #[test]
+    fn shift_hierarchy_on_dense_streams() {
+        // Half-loaded inputs with colliding lanes: Mrg-1 resolves the
+        // collisions that force Mrg-0 to spill; Mrg-16 is never worse.
+        let a: ShuffleVector = (0..16)
+            .map(|l| if l % 3 == 0 { entry(0, l) } else { None })
+            .collect();
+        let b: ShuffleVector = (0..16)
+            .map(|l| {
+                if l % 6 == 0 || l % 6 == 1 {
+                    entry(0, l)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let count = |shift| merge_vectors(&a, &b, 16, shift).0.len();
+        let m0 = count(MergeShift::None);
+        let m1 = count(MergeShift::One);
+        let m16 = count(MergeShift::Full);
+        assert!(m0 >= m1 && m1 >= m16, "m0={m0} m1={m1} m16={m16}");
+        assert!(m0 > m16, "shifting should help here");
+    }
+
+    #[test]
+    fn butterfly_routes_to_correct_ports() {
+        let net = ButterflyNetwork::new(ShuffleConfig {
+            ports: 4,
+            lanes: 4,
+            shift: MergeShift::One,
+            decision_fifo: 64,
+        });
+        // Source 0 sends one vector with entries for ports 1, 2, 3 and
+        // itself (bypassed).
+        let mut streams: Vec<Vec<ShuffleVector>> = vec![Vec::new(); 4];
+        streams[0].push(vec![entry(0, 0), entry(1, 1), entry(2, 2), entry(3, 3)]);
+        let result = net.route(&streams);
+        assert_eq!(result.bypassed, 1);
+        assert_eq!(result.delivered_entries, vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn butterfly_merges_parallel_sources() {
+        // All four sources send to port 0: entries must funnel together.
+        let net = ButterflyNetwork::new(ShuffleConfig {
+            ports: 4,
+            lanes: 4,
+            shift: MergeShift::Full,
+            decision_fifo: 64,
+        });
+        let mut streams: Vec<Vec<ShuffleVector>> = vec![Vec::new(); 4];
+        for (src, stream) in streams.iter_mut().enumerate() {
+            if src != 0 {
+                stream.push(vec![entry(0, 0), entry(0, 1), None, None]);
+            }
+        }
+        let result = net.route(&streams);
+        assert_eq!(result.delivered_entries[0], 6);
+        assert_eq!(result.delivered_entries[1..], [0, 0, 0]);
+    }
+
+    #[test]
+    fn mrg1_beats_mrg0_through_full_network() {
+        // Moderately loaded network with scattered destinations.
+        let mut streams: Vec<Vec<ShuffleVector>> = vec![Vec::new(); 16];
+        let mut rng = 1u64;
+        let mut next = || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for (src, stream) in streams.iter_mut().enumerate() {
+            for _ in 0..20 {
+                let v: ShuffleVector = (0..16)
+                    .map(|l| {
+                        if next() % 3 == 0 {
+                            let dest = (next() % 16) as u32;
+                            if dest as usize == src {
+                                None
+                            } else {
+                                entry(dest, l)
+                            }
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                stream.push(v);
+            }
+        }
+        let route = |shift| {
+            let net = ButterflyNetwork::new(ShuffleConfig {
+                ports: 16,
+                lanes: 16,
+                shift,
+                decision_fifo: 64,
+            });
+            net.route(&streams).cycles
+        };
+        let c0 = route(MergeShift::None);
+        let c1 = route(MergeShift::One);
+        let c16 = route(MergeShift::Full);
+        assert!(c0 > c1, "Mrg-0 {c0} should be slower than Mrg-1 {c1}");
+        assert!(
+            c1 as f64 <= c16 as f64 * 1.3,
+            "Mrg-1 {c1} should be near Mrg-16 {c16}"
+        );
+    }
+
+    #[test]
+    fn entries_are_conserved() {
+        let net = ButterflyNetwork::new(ShuffleConfig::default());
+        let mut streams: Vec<Vec<ShuffleVector>> = vec![Vec::new(); 16];
+        let mut total_in = 0u64;
+        for (src, stream) in streams.iter_mut().enumerate() {
+            let v: ShuffleVector = (0..16)
+                .map(|l| {
+                    let dest = ((src + l) % 16) as u32;
+                    total_in += 1;
+                    entry(dest, l)
+                })
+                .collect();
+            stream.push(v);
+        }
+        let result = net.route(&streams);
+        let delivered: u64 = result.delivered_entries.iter().sum();
+        assert_eq!(delivered + result.bypassed, total_in);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_bad_port_count() {
+        let _ = ButterflyNetwork::new(ShuffleConfig {
+            ports: 6,
+            lanes: 16,
+            shift: MergeShift::One,
+            decision_fifo: 64,
+        });
+    }
+}

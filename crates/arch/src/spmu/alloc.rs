@@ -1,0 +1,255 @@
+//! Input-first separable allocator for the lane-to-bank crossbar.
+//!
+//! Paper §3.1.1: "Every separable allocation iteration consists of two
+//! stages of fixed-priority arbiters. The first stage prunes the matrix so
+//! that every lane requests at most one bank, and the second stage ensures
+//! that every bank selects at most one lane. These two pruning steps
+//! guarantee at most one grant per bank and lane. However, if the first
+//! iteration chooses suboptimally, more grants could be added. Successive
+//! stages consider requests that were not previously granted and do not
+//! conflict with established grants."
+//!
+//! The allocator is *windowed*: iteration `k` only sees requests from the
+//! first `window[k]` queue slots, which implements the age-priority scheme
+//! ("the first five slots bid in the first round, the first ten in the
+//! second, and all bid in the third", §3.1.1, Table 4).
+
+/// A set of requested banks per input port, one `u64` bitmask per port.
+///
+/// With input speedup 1 there is one port per lane; with speedup 2 each
+/// lane contributes two ports (a banked input queue feeding a `2l x b`
+/// crossbar, §3.1.2).
+pub type PortRequests = Vec<u64>;
+
+/// Result of one allocation cycle: the granted bank per port, if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationResult {
+    /// `grants[port] = Some(bank)`.
+    pub grants: Vec<Option<usize>>,
+    /// Grants added by each iteration (for allocator-quality studies).
+    pub per_iteration: Vec<usize>,
+}
+
+impl AllocationResult {
+    /// Total number of grants.
+    pub fn total(&self) -> usize {
+        self.grants.iter().filter(|g| g.is_some()).count()
+    }
+}
+
+/// Runs a windowed, input-first separable allocation.
+///
+/// `iterations[k]` holds the request masks visible to iteration `k`; the
+/// masks must be *cumulative* (each iteration sees at least the requests
+/// of the previous one — younger windows only add requests). Banks beyond
+/// `banks` are ignored.
+///
+/// # Panics
+///
+/// Panics if `iterations` is empty or the port counts disagree.
+pub fn allocate(iterations: &[PortRequests], banks: usize) -> AllocationResult {
+    assert!(
+        !iterations.is_empty(),
+        "allocator needs at least one iteration"
+    );
+    let ports = iterations[0].len();
+    assert!(
+        iterations.iter().all(|m| m.len() == ports),
+        "all iterations must present the same port count"
+    );
+    let bank_mask = if banks >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << banks) - 1
+    };
+
+    let mut grants: Vec<Option<usize>> = vec![None; ports];
+    let mut granted_banks: u64 = 0;
+    let mut per_iteration = Vec::with_capacity(iterations.len());
+
+    for masks in iterations {
+        // Stage 1 (input arbiter): every ungranted port picks a requested
+        // free bank. The arbiters are fixed-priority but *diagonally*
+        // offset per port (port p scans from bank p mod b), the standard
+        // trick that stops every port from piling onto bank 0.
+        let mut choices: Vec<Option<usize>> = vec![None; ports];
+        for (port, &mask) in masks.iter().enumerate() {
+            if grants[port].is_some() {
+                continue;
+            }
+            let available = mask & bank_mask & !granted_banks;
+            if available != 0 {
+                let start = port % banks;
+                let rotated = available.rotate_right(start as u32);
+                let bank = (rotated.trailing_zeros() as usize + start) % 64;
+                choices[port] = Some(bank % banks.max(1));
+            }
+        }
+        // Stage 2 (output arbiter): every bank accepts one choosing port,
+        // with a diagonal priority offset mirroring stage 1.
+        let mut new_grants = 0;
+        let mut taken: u64 = 0;
+        for bank in 0..banks {
+            let start = bank % ports.max(1);
+            for k in 0..ports {
+                let port = (start + k) % ports;
+                if choices[port] == Some(bank) && grants[port].is_none() && taken >> bank & 1 == 0 {
+                    taken |= 1 << bank;
+                    grants[port] = Some(bank);
+                    new_grants += 1;
+                    break;
+                }
+            }
+        }
+        granted_banks |= taken;
+        per_iteration.push(new_grants);
+    }
+
+    AllocationResult {
+        grants,
+        per_iteration,
+    }
+}
+
+/// A *maximum* bipartite matching via Kuhn's augmenting-path algorithm.
+///
+/// Used as the quality reference for the separable allocator and as the
+/// model for the arbitrated baseline's per-vector bank arbitration (where
+/// each lane requests exactly one bank, so any maximal matching serves
+/// every distinct requested bank once per cycle).
+pub fn maximal_matching(masks: &PortRequests, banks: usize) -> AllocationResult {
+    let ports = masks.len();
+    let bank_mask = if banks >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << banks) - 1
+    };
+    let mut bank_owner: Vec<Option<usize>> = vec![None; banks];
+
+    fn try_augment(
+        port: usize,
+        masks: &[u64],
+        bank_mask: u64,
+        bank_owner: &mut [Option<usize>],
+        visited: &mut [bool],
+    ) -> bool {
+        let mut available = masks[port] & bank_mask;
+        while available != 0 {
+            let bank = available.trailing_zeros() as usize;
+            available &= available - 1;
+            if visited[bank] {
+                continue;
+            }
+            visited[bank] = true;
+            if bank_owner[bank].is_none()
+                || try_augment(
+                    bank_owner[bank].unwrap(),
+                    masks,
+                    bank_mask,
+                    bank_owner,
+                    visited,
+                )
+            {
+                bank_owner[bank] = Some(port);
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut matched = 0;
+    for port in 0..ports {
+        let mut visited = vec![false; banks];
+        if try_augment(port, masks, bank_mask, &mut bank_owner, &mut visited) {
+            matched += 1;
+        }
+    }
+    let mut grants: Vec<Option<usize>> = vec![None; ports];
+    for (bank, owner) in bank_owner.iter().enumerate() {
+        if let Some(port) = owner {
+            grants[*port] = Some(bank);
+        }
+    }
+    AllocationResult {
+        grants,
+        per_iteration: vec![matched],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_are_conflict_free() {
+        // Every port wants every bank: the result must be a permutation.
+        let masks = vec![0xFFFFu64; 16];
+        let result = allocate(&[masks], 16);
+        assert_eq!(result.total(), 16);
+        let mut banks: Vec<usize> = result.grants.iter().map(|g| g.unwrap()).collect();
+        banks.sort_unstable();
+        banks.dedup();
+        assert_eq!(banks.len(), 16);
+    }
+
+    #[test]
+    fn single_iteration_can_be_suboptimal() {
+        // Port 0 wants banks {0,1}, port 1 wants bank {0} only.
+        // Greedy stage 1: port 0 picks bank 0, port 1 picks bank 0 and
+        // loses — one grant. A second iteration fixes port 0 onto bank 1?
+        // No: grants are sticky; rather port 1 never gets bank 0. The
+        // classic fix is more iterations finding the augmenting path is
+        // impossible in separable allocators — check documented behaviour.
+        let masks = vec![0b11u64, 0b01u64];
+        let one = allocate(std::slice::from_ref(&masks), 2);
+        assert_eq!(one.total(), 1);
+        // Iterating cannot un-grant, but a 2nd iteration lets port 0 (if
+        // ungranted) pick again; here port 0 won, so port 1 stays blocked.
+        let two = allocate(&[masks.clone(), masks], 2);
+        assert_eq!(two.total(), 1);
+    }
+
+    #[test]
+    fn later_iterations_add_grants() {
+        // Ports 0 and 1 collide on bank 0 in iteration 1; iteration 2
+        // reveals port 1's alternative (younger request) to bank 1.
+        let iter1 = vec![0b01u64, 0b01u64];
+        let iter2 = vec![0b01u64, 0b11u64];
+        let result = allocate(&[iter1, iter2], 2);
+        assert_eq!(result.total(), 2);
+        assert_eq!(result.grants[0], Some(0));
+        assert_eq!(result.grants[1], Some(1));
+        assert_eq!(result.per_iteration, vec![1, 1]);
+    }
+
+    #[test]
+    fn respects_bank_count() {
+        let masks = vec![u64::MAX; 4];
+        let result = allocate(&[masks], 2);
+        assert_eq!(result.total(), 2);
+        assert!(result.grants.iter().flatten().all(|&b| b < 2));
+    }
+
+    #[test]
+    fn empty_requests_get_nothing() {
+        let result = allocate(&[vec![0u64; 8]], 16);
+        assert_eq!(result.total(), 0);
+    }
+
+    #[test]
+    fn maximal_matching_reference() {
+        // A chain pattern where greedy one-shot gets 2 but maximal gets 3:
+        // p0:{0,1}, p1:{0}, p2:{1,2}.
+        let masks = vec![0b011u64, 0b001, 0b110];
+        let one = allocate(std::slice::from_ref(&masks), 3);
+        let max = maximal_matching(&masks, 3);
+        assert!(max.total() >= one.total());
+        assert_eq!(max.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn rejects_empty_iterations() {
+        let _ = allocate(&[], 16);
+    }
+}

@@ -1,0 +1,918 @@
+//! The Sparse Memory Unit (SpMU) — Capstan's allocated scratchpad.
+//!
+//! Paper §3.1: "On-chip sparse accesses are handled by sparse memory units
+//! (SpMUs), which dynamically schedule sparse requests to banks. The
+//! SpMU's main architectural component is a reordering pipeline added to
+//! Plasticine's MU. ... Capstan introduces a scheduled pipeline where `d`
+//! vectors are buffered to stop a single bank conflict from creating a
+//! multi-cycle stall."
+//!
+//! Pipeline (Fig. 3b): pending accesses in the issue queue bid for banks
+//! ➊; a separable allocator computes a crossbar configuration ➋; each
+//! granted request runs through an independent read-modify-write pipeline
+//! with one SRAM bank and an FPU ➌; an output crossbar inversely permutes
+//! results back to their lanes ➍. "Because the issue queue can only issue
+//! one request per lane regardless of queue depth, crossbar size is
+//! independent of scheduling depth."
+//!
+//! The model is cycle-level: one [`Spmu::tick`] call is one core cycle.
+
+pub mod alloc;
+pub mod driver;
+pub mod hash;
+pub mod ordering;
+pub mod rmw;
+
+pub use hash::BankHash;
+pub use ordering::{BloomFilter, OrderingMode};
+pub use rmw::RmwOp;
+
+use capstan_sim::queue::BoundedQueue;
+use capstan_sim::stats::{Counter, Utilization};
+use std::collections::VecDeque;
+
+/// One lane's memory request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneRequest {
+    /// Word address within the SpMU's local address space.
+    pub addr: u32,
+    /// The atomic operation to perform.
+    pub op: RmwOp,
+    /// Operand for writes/updates (ignored by reads).
+    pub operand: f32,
+}
+
+impl LaneRequest {
+    /// A plain read of `addr`.
+    pub fn read(addr: u32) -> Self {
+        LaneRequest {
+            addr,
+            op: RmwOp::Read,
+            operand: 0.0,
+        }
+    }
+
+    /// A plain write of `value` to `addr`.
+    pub fn write(addr: u32, value: f32) -> Self {
+        LaneRequest {
+            addr,
+            op: RmwOp::Write,
+            operand: value,
+        }
+    }
+
+    /// An atomic update of `addr`.
+    pub fn rmw(addr: u32, op: RmwOp, operand: f32) -> Self {
+        LaneRequest { addr, op, operand }
+    }
+}
+
+/// A vector of up to `lanes` requests entering the SpMU together.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessVector {
+    /// One optional request per lane.
+    pub lanes: Vec<Option<LaneRequest>>,
+}
+
+impl AccessVector {
+    /// Builds a vector from per-lane requests.
+    pub fn new(lanes: Vec<Option<LaneRequest>>) -> Self {
+        AccessVector { lanes }
+    }
+
+    /// Builds a fully populated vector of reads from addresses.
+    pub fn reads(addrs: &[u32]) -> Self {
+        AccessVector {
+            lanes: addrs.iter().map(|&a| Some(LaneRequest::read(a))).collect(),
+        }
+    }
+
+    /// Number of populated lanes.
+    pub fn occupancy(&self) -> usize {
+        self.lanes.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+/// A completed vector with per-lane results, in enqueue order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedVector {
+    /// Sequence number assigned at enqueue.
+    pub id: u64,
+    /// Cycle at which the vector left the SpMU.
+    pub dequeue_cycle: u64,
+    /// Per-lane returned data (`None` for empty lanes).
+    pub results: Vec<Option<f32>>,
+}
+
+/// One crossbar grant, for trace visualization (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantRecord {
+    /// Cycle of the grant.
+    pub cycle: u64,
+    /// Lane (crossbar input).
+    pub lane: usize,
+    /// Bank (crossbar output).
+    pub bank: usize,
+    /// Which vector the request belonged to.
+    pub vector_id: u64,
+}
+
+/// Static configuration of one SpMU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpmuConfig {
+    /// SIMD lanes feeding the unit (paper: 16).
+    pub lanes: usize,
+    /// SRAM banks (paper: 16).
+    pub banks: usize,
+    /// Words per bank (paper: 4096 × 32-bit).
+    pub bank_words: usize,
+    /// Issue-queue depth in vectors (paper design point: 16).
+    pub queue_depth: usize,
+    /// Input speedup: 1 = `l x b` crossbar, 2 = `2l x b` (§3.1.2).
+    pub input_speedup: usize,
+    /// Age-priority windows used by allocation (1, 2, or 3; Table 4).
+    pub priorities: usize,
+    /// Separable-allocator iterations (paper: 3).
+    pub alloc_iterations: usize,
+    /// Bank-mapping scheme.
+    pub hash: BankHash,
+    /// Memory-ordering mode.
+    pub ordering: OrderingMode,
+    /// Squash duplicate reads within a vector (§3.1.2).
+    pub elide_repeated_reads: bool,
+    /// Counting-Bloom-filter entries for address-ordered admission
+    /// (paper design point: 128, §3.1.2).
+    pub bloom_entries: usize,
+    /// Cycles from grant to result writeback (crossbar, read, modify).
+    pub pipeline_latency: u64,
+    /// Model an ideal conflict-free memory (Table 9's "Ideal" column).
+    pub ideal_conflict_free: bool,
+}
+
+impl Default for SpmuConfig {
+    /// The paper's final design point: 16 lanes, 16 banks, 16-deep queue,
+    /// no input speedup, 3 priorities, 3 iterations, hashed banking,
+    /// unordered completion.
+    fn default() -> Self {
+        SpmuConfig {
+            lanes: 16,
+            banks: 16,
+            bank_words: 4096,
+            queue_depth: 16,
+            input_speedup: 1,
+            priorities: 3,
+            alloc_iterations: 3,
+            hash: BankHash::Hashed,
+            ordering: OrderingMode::Unordered,
+            elide_repeated_reads: true,
+            bloom_entries: 128,
+            pipeline_latency: 3,
+            ideal_conflict_free: false,
+        }
+    }
+}
+
+impl SpmuConfig {
+    /// Total words of storage (paper: 64 Ki words = 256 KiB).
+    pub fn capacity_words(&self) -> usize {
+        self.banks * self.bank_words
+    }
+
+    /// The age-priority window (in queue slots) visible to allocation
+    /// iteration `iter` (0-based). With 3 priorities on a 16-deep queue:
+    /// slots 0–4, then 0–9, then all (§3.1.1).
+    pub fn window_for_iteration(&self, iter: usize) -> usize {
+        let d = self.queue_depth;
+        let full = d;
+        let w1 = (5 * d).div_ceil(16).max(1);
+        let w2 = (10 * d).div_ceil(16).max(1);
+        let windows: [usize; 3] = match self.priorities {
+            0 | 1 => [full, full, full],
+            2 => [w1, full, full],
+            _ => [w1, w2, full],
+        };
+        windows[iter.min(2)]
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LaneState {
+    Empty,
+    Pending(LaneRequest),
+    Issued {
+        finish_at: u64,
+        result: f32,
+        addr: u32,
+    },
+    Done {
+        result: f32,
+        addr: u32,
+    },
+    DuplicateOf(usize),
+}
+
+#[derive(Debug, Clone)]
+struct QueueEntry {
+    id: u64,
+    lanes: Vec<LaneState>,
+}
+
+impl QueueEntry {
+    fn is_complete(&self) -> bool {
+        self.lanes.iter().all(|l| {
+            matches!(
+                l,
+                LaneState::Empty | LaneState::Done { .. } | LaneState::DuplicateOf(_)
+            )
+        })
+    }
+}
+
+/// Cycle-level model of one Sparse Memory Unit.
+#[derive(Debug, Clone)]
+pub struct Spmu {
+    cfg: SpmuConfig,
+    mem: Vec<f32>,
+    queue: BoundedQueue<QueueEntry>,
+    staging: VecDeque<AccessVector>,
+    bloom: BloomFilter,
+    cycle: u64,
+    next_id: u64,
+    bank_util: Utilization,
+    lane_throughput: Counter,
+    enqueue_stalls: Counter,
+    splits: Counter,
+    bloom_stalls: Counter,
+    elided_reads: Counter,
+    grant_log: Option<Vec<GrantRecord>>,
+}
+
+impl Spmu {
+    /// Creates an SpMU with zeroed memory.
+    pub fn new(cfg: SpmuConfig) -> Self {
+        Spmu {
+            mem: vec![0.0; cfg.capacity_words()],
+            queue: BoundedQueue::new(cfg.queue_depth),
+            staging: VecDeque::new(),
+            bloom: BloomFilter::new(cfg.bloom_entries, 2),
+            cycle: 0,
+            next_id: 0,
+            bank_util: Utilization::new(),
+            lane_throughput: Counter::new(),
+            enqueue_stalls: Counter::new(),
+            splits: Counter::new(),
+            bloom_stalls: Counter::new(),
+            elided_reads: Counter::new(),
+            grant_log: None,
+            cfg,
+        }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> &SpmuConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Enables grant logging for trace visualization (paper Fig. 4).
+    pub fn enable_grant_log(&mut self) {
+        self.grant_log = Some(Vec::new());
+    }
+
+    /// The grant log, if enabled.
+    pub fn grant_log(&self) -> Option<&[GrantRecord]> {
+        self.grant_log.as_deref()
+    }
+
+    /// Bank utilization so far (the Table 4 metric).
+    pub fn bank_utilization(&self) -> f64 {
+        self.bank_util.fraction()
+    }
+
+    /// Resets utilization statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.bank_util = Utilization::new();
+        self.lane_throughput = Counter::new();
+        self.enqueue_stalls = Counter::new();
+        self.splits = Counter::new();
+        self.bloom_stalls = Counter::new();
+        if let Some(log) = &mut self.grant_log {
+            log.clear();
+        }
+    }
+
+    /// Requests completed per measured cycle.
+    pub fn requests_completed(&self) -> u64 {
+        self.lane_throughput.get()
+    }
+
+    /// Number of vector splits performed by address ordering.
+    pub fn split_count(&self) -> u64 {
+        self.splits.get()
+    }
+
+    /// Cycles an admission was blocked by the Bloom filter.
+    pub fn bloom_stall_count(&self) -> u64 {
+        self.bloom_stalls.get()
+    }
+
+    /// Reads a word directly (test/setup path, not timed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds the capacity.
+    pub fn peek(&self, addr: u32) -> f32 {
+        self.mem[self.mem_index(addr)]
+    }
+
+    /// Writes a word directly (test/setup path, not timed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds the capacity.
+    pub fn poke(&mut self, addr: u32, value: f32) {
+        let i = self.mem_index(addr);
+        self.mem[i] = value;
+    }
+
+    fn mem_index(&self, addr: u32) -> usize {
+        let bank = self.cfg.hash.bank_of(addr, self.cfg.banks);
+        let offset = self.cfg.hash.offset_of(addr, self.cfg.banks);
+        assert!(
+            offset < self.cfg.bank_words,
+            "address {addr} exceeds SpMU capacity ({} words)",
+            self.cfg.capacity_words()
+        );
+        bank * self.cfg.bank_words + offset
+    }
+
+    /// Attempts to accept a vector this cycle. Returns `false` (the caller
+    /// should retry next cycle) when the input stage is still draining
+    /// earlier work.
+    pub fn try_enqueue(&mut self, vector: AccessVector) -> bool {
+        if !self.staging.is_empty() {
+            self.enqueue_stalls.incr();
+            return false;
+        }
+        assert!(
+            vector.lanes.len() <= self.cfg.lanes,
+            "vector has {} lanes, SpMU has {}",
+            vector.lanes.len(),
+            self.cfg.lanes
+        );
+        if self.cfg.ordering == OrderingMode::AddressOrdered {
+            let parts = split_same_address(&vector);
+            if parts.len() > 1 {
+                self.splits.add(parts.len() as u64 - 1);
+            }
+            self.staging.extend(parts);
+        } else {
+            self.staging.push_back(vector);
+        }
+        true
+    }
+
+    /// Whether all queues are empty (safe to stop ticking).
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.staging.is_empty()
+    }
+
+    /// Advances one cycle; returns vectors completed this cycle (at most
+    /// one — dequeue is in program order at vector rate).
+    pub fn tick(&mut self) -> Vec<CompletedVector> {
+        self.cycle += 1;
+
+        // ➋ Issue: compute this cycle's crossbar configuration.
+        let granted = if self.cfg.ideal_conflict_free {
+            self.issue_ideal()
+        } else {
+            match self.cfg.ordering {
+                OrderingMode::Unordered | OrderingMode::AddressOrdered => self.issue_allocated(),
+                OrderingMode::FullyOrdered => self.issue_fully_ordered(),
+                OrderingMode::Arbitrated => self.issue_arbitrated(),
+            }
+        };
+        self.bank_util.record(granted as u64, self.cfg.banks as u64);
+
+        // ➌➍ Completion: retire issued requests whose pipeline finished.
+        let mut finished_addrs: Vec<u32> = Vec::new();
+        for qi in 0..self.queue.len() {
+            let entry = self.queue.get_mut(qi).expect("index in range");
+            for lane in &mut entry.lanes {
+                if let LaneState::Issued {
+                    finish_at,
+                    result,
+                    addr,
+                } = *lane
+                {
+                    if finish_at <= self.cycle {
+                        *lane = LaneState::Done { result, addr };
+                        finished_addrs.push(addr);
+                    }
+                }
+            }
+        }
+        if self.cfg.ordering == OrderingMode::AddressOrdered {
+            for addr in finished_addrs {
+                self.bloom.remove(addr);
+            }
+        }
+
+        // Dequeue at most one complete vector, in order.
+        let mut out = Vec::new();
+        if self.queue.front().is_some_and(QueueEntry::is_complete) {
+            let entry = self.queue.pop().expect("checked non-empty");
+            self.lane_throughput.add(
+                entry
+                    .lanes
+                    .iter()
+                    .filter(|l| matches!(l, LaneState::Done { .. } | LaneState::DuplicateOf(_)))
+                    .count() as u64,
+            );
+            let mut results: Vec<Option<f32>> = entry
+                .lanes
+                .iter()
+                .map(|l| match l {
+                    LaneState::Done { result, .. } => Some(*result),
+                    _ => None,
+                })
+                .collect();
+            // Fill elided duplicates from the lane that performed the read.
+            for (i, lane) in entry.lanes.iter().enumerate() {
+                if let LaneState::DuplicateOf(src) = lane {
+                    results[i] = results[*src];
+                }
+            }
+            out.push(CompletedVector {
+                id: entry.id,
+                dequeue_cycle: self.cycle,
+                results,
+            });
+        }
+
+        // ➊ Enqueue: admit at most one staged vector.
+        self.admit_staged();
+
+        out
+    }
+
+    fn admit_staged(&mut self) {
+        if self.queue.is_full() {
+            return;
+        }
+        let Some(vector) = self.staging.front() else {
+            return;
+        };
+        if self.cfg.ordering == OrderingMode::AddressOrdered {
+            let conflict = vector
+                .lanes
+                .iter()
+                .flatten()
+                .any(|req| self.bloom.may_contain(req.addr));
+            if conflict {
+                self.bloom_stalls.incr();
+                return;
+            }
+        }
+        let vector = self.staging.pop_front().expect("checked non-empty");
+        let mut lanes: Vec<LaneState> = Vec::with_capacity(self.cfg.lanes);
+        let mut seen_reads: Vec<(u32, usize)> = Vec::new();
+        for (i, lane) in vector.lanes.iter().enumerate() {
+            let state = match lane {
+                None => LaneState::Empty,
+                Some(req) => {
+                    if self.cfg.elide_repeated_reads && req.op.is_read_only() {
+                        if let Some(&(_, src)) = seen_reads.iter().find(|&&(a, _)| a == req.addr) {
+                            self.elided_reads.incr();
+                            LaneState::DuplicateOf(src)
+                        } else {
+                            seen_reads.push((req.addr, i));
+                            LaneState::Pending(*req)
+                        }
+                    } else {
+                        LaneState::Pending(*req)
+                    }
+                }
+            };
+            lanes.push(state);
+        }
+        lanes.resize(self.cfg.lanes, LaneState::Empty);
+        if self.cfg.ordering == OrderingMode::AddressOrdered {
+            for lane in &lanes {
+                if let LaneState::Pending(req) = lane {
+                    self.bloom.insert(req.addr);
+                }
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue
+            .push(QueueEntry { id, lanes })
+            .expect("checked space");
+    }
+
+    /// Allocated issue (Unordered / AddressOrdered): windowed separable
+    /// allocation over the issue queue.
+    fn issue_allocated(&mut self) -> usize {
+        let ports = self.cfg.lanes * self.cfg.input_speedup;
+        // Build cumulative per-iteration request masks.
+        let mut iterations: Vec<Vec<u64>> = Vec::with_capacity(self.cfg.alloc_iterations);
+        for iter in 0..self.cfg.alloc_iterations {
+            let window = self.cfg.window_for_iteration(iter);
+            let mut masks = vec![0u64; ports];
+            for lane in 0..self.cfg.lanes {
+                let mut bank_mask = 0u64;
+                for qi in 0..window.min(self.queue.len()) {
+                    let entry = self.queue.get(qi).expect("index in range");
+                    if let LaneState::Pending(req) = entry.lanes[lane] {
+                        bank_mask |= 1 << self.cfg.hash.bank_of(req.addr, self.cfg.banks);
+                    }
+                }
+                for s in 0..self.cfg.input_speedup {
+                    masks[lane * self.cfg.input_speedup + s] = bank_mask;
+                }
+            }
+            iterations.push(masks);
+        }
+        let result = alloc::allocate(&iterations, self.cfg.banks);
+
+        // Map grants back to the oldest matching pending request per lane.
+        let mut granted = 0;
+        let mut used: Vec<(usize, u64)> = Vec::new(); // (lane, entry id) already taken
+        for (port, grant) in result.grants.iter().enumerate() {
+            let Some(bank) = *grant else { continue };
+            let lane = port / self.cfg.input_speedup;
+            if self.issue_oldest(lane, bank, &mut used) {
+                granted += 1;
+            }
+        }
+        granted
+    }
+
+    /// Issues the oldest pending request of `lane` mapping to `bank`.
+    fn issue_oldest(&mut self, lane: usize, bank: usize, used: &mut Vec<(usize, u64)>) -> bool {
+        let window = self.cfg.window_for_iteration(self.cfg.alloc_iterations - 1);
+        for qi in 0..window.min(self.queue.len()) {
+            let id = self.queue.get(qi).expect("in range").id;
+            if used.contains(&(lane, id)) {
+                continue;
+            }
+            let entry = self.queue.get(qi).expect("in range");
+            if let LaneState::Pending(req) = entry.lanes[lane] {
+                if self.cfg.hash.bank_of(req.addr, self.cfg.banks) == bank {
+                    used.push((lane, id));
+                    self.issue_request(qi, lane, req, bank);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn issue_request(&mut self, qi: usize, lane: usize, req: LaneRequest, bank: usize) {
+        let idx = self.mem_index(req.addr);
+        let old = self.mem[idx];
+        let (new, returned) = req.op.apply(old, req.operand);
+        self.mem[idx] = new;
+        let finish_at = self.cycle + self.cfg.pipeline_latency;
+        let id = self.queue.get(qi).expect("in range").id;
+        if let Some(log) = &mut self.grant_log {
+            log.push(GrantRecord {
+                cycle: self.cycle,
+                lane,
+                bank,
+                vector_id: id,
+            });
+        }
+        let entry = self.queue.get_mut(qi).expect("in range");
+        entry.lanes[lane] = LaneState::Issued {
+            finish_at,
+            result: returned,
+            addr: req.addr,
+        };
+    }
+
+    /// Ideal conflict-free issue: every lane issues its oldest pending
+    /// request each cycle, ignoring banks (Table 9's "Ideal").
+    fn issue_ideal(&mut self) -> usize {
+        let mut granted = 0;
+        for lane in 0..self.cfg.lanes {
+            for qi in 0..self.queue.len() {
+                let entry = self.queue.get(qi).expect("in range");
+                if let LaneState::Pending(req) = entry.lanes[lane] {
+                    let bank = self.cfg.hash.bank_of(req.addr, self.cfg.banks);
+                    self.issue_request(qi, lane, req, bank);
+                    granted += 1;
+                    break;
+                }
+            }
+        }
+        granted.min(self.cfg.banks)
+    }
+
+    /// Index of the oldest queue entry that still has a pending lane.
+    /// Ordered issue modes work on this entry; completion of *earlier*
+    /// entries overlaps in the pipeline, as in Plasticine's MU.
+    fn oldest_pending_entry(&self) -> Option<usize> {
+        (0..self.queue.len()).find(|&qi| {
+            self.queue
+                .get(qi)
+                .expect("in range")
+                .lanes
+                .iter()
+                .any(|l| matches!(l, LaneState::Pending(_)))
+        })
+    }
+
+    /// Fully ordered issue: requests leave in program order; each cycle
+    /// issues the longest prefix of the oldest unfinished vector's
+    /// remaining lanes whose banks are distinct.
+    fn issue_fully_ordered(&mut self) -> usize {
+        let Some(qi) = self.oldest_pending_entry() else {
+            return 0;
+        };
+        let entry = self.queue.get(qi).expect("in range");
+        let mut to_issue: Vec<(usize, LaneRequest, usize)> = Vec::new();
+        let mut banks_used = 0u64;
+        for (lane, state) in entry.lanes.iter().enumerate() {
+            match state {
+                LaneState::Empty
+                | LaneState::Done { .. }
+                | LaneState::DuplicateOf(_)
+                | LaneState::Issued { .. } => continue,
+                LaneState::Pending(req) => {
+                    let bank = self.cfg.hash.bank_of(req.addr, self.cfg.banks);
+                    if banks_used >> bank & 1 == 1 {
+                        break; // order barrier: later lanes must wait
+                    }
+                    banks_used |= 1 << bank;
+                    to_issue.push((lane, *req, bank));
+                }
+            }
+        }
+        let granted = to_issue.len();
+        for (lane, req, bank) in to_issue {
+            self.issue_request(qi, lane, req, bank);
+        }
+        granted
+    }
+
+    /// Arbitrated baseline: bank-arbitrate within the oldest unfinished
+    /// vector only (no cross-vector interleaving).
+    fn issue_arbitrated(&mut self) -> usize {
+        let Some(qi) = self.oldest_pending_entry() else {
+            return 0;
+        };
+        let entry = self.queue.get(qi).expect("in range");
+        let mut masks = vec![0u64; self.cfg.lanes];
+        for (lane, state) in entry.lanes.iter().enumerate() {
+            if let LaneState::Pending(req) = state {
+                masks[lane] = 1 << self.cfg.hash.bank_of(req.addr, self.cfg.banks);
+            }
+        }
+        let result = alloc::maximal_matching(&masks, self.cfg.banks);
+        let mut granted = 0;
+        for (lane, grant) in result.grants.iter().enumerate() {
+            let Some(bank) = *grant else { continue };
+            let entry = self.queue.get(qi).expect("in range");
+            if let LaneState::Pending(req) = entry.lanes[lane] {
+                self.issue_request(qi, lane, req, bank);
+                granted += 1;
+            }
+        }
+        granted
+    }
+}
+
+/// Splits a vector so no two lanes in one part share an address
+/// (address-ordered admission, §3.1.2).
+fn split_same_address(vector: &AccessVector) -> Vec<AccessVector> {
+    let mut parts: Vec<AccessVector> = Vec::new();
+    for (i, lane) in vector.lanes.iter().enumerate() {
+        let Some(req) = lane else { continue };
+        // Find the first part not already holding this address.
+        let slot = parts
+            .iter_mut()
+            .find(|p| p.lanes.iter().flatten().all(|r| r.addr != req.addr));
+        match slot {
+            Some(part) => part.lanes[i] = Some(*req),
+            None => {
+                let mut lanes = vec![None; vector.lanes.len()];
+                lanes[i] = Some(*req);
+                parts.push(AccessVector { lanes });
+            }
+        }
+    }
+    if parts.is_empty() {
+        parts.push(AccessVector {
+            lanes: vec![None; vector.lanes.len()],
+        });
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(spmu: &mut Spmu, budget: u64) -> Vec<CompletedVector> {
+        let mut out = Vec::new();
+        for _ in 0..budget {
+            out.extend(spmu.tick());
+            if spmu.is_idle() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_vector_round_trip() {
+        let mut spmu = Spmu::new(SpmuConfig::default());
+        for (addr, v) in [(0u32, 1.5f32), (17, 2.5), (4000, -3.0)] {
+            spmu.poke(addr, v);
+        }
+        let vec = AccessVector::reads(&[0, 17, 4000]);
+        assert!(spmu.try_enqueue(vec));
+        let done = drain(&mut spmu, 100);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].results[0], Some(1.5));
+        assert_eq!(done[0].results[1], Some(2.5));
+        assert_eq!(done[0].results[2], Some(-3.0));
+    }
+
+    #[test]
+    fn rmw_accumulates_across_vectors() {
+        let mut spmu = Spmu::new(SpmuConfig::default());
+        for _ in 0..10 {
+            let v = AccessVector::new(vec![Some(LaneRequest::rmw(5, RmwOp::AddF, 1.0)); 4]);
+            while !spmu.try_enqueue(v.clone()) {
+                spmu.tick();
+            }
+            spmu.tick();
+        }
+        drain(&mut spmu, 200);
+        assert_eq!(spmu.peek(5), 40.0);
+    }
+
+    #[test]
+    fn results_return_in_program_order() {
+        let mut spmu = Spmu::new(SpmuConfig::default());
+        // Many vectors all hammering one bank: completion reorders
+        // internally, but dequeue order must stay monotone.
+        let mut sent = 0u64;
+        let mut received = Vec::new();
+        let mut budget = 10_000;
+        while received.len() < 20 && budget > 0 {
+            budget -= 1;
+            if sent < 20 {
+                // Same-bank addresses (stride = banks under linear... use
+                // identical low nibble via multiples of 16 with hashing
+                // disabled by picking addresses that hash to bank 0).
+                let v = AccessVector::reads(&[0, 0, 0, 0]);
+                if spmu.try_enqueue(v) {
+                    sent += 1;
+                }
+            }
+            received.extend(spmu.tick());
+        }
+        assert_eq!(received.len(), 20);
+        let ids: Vec<u64> = received.iter().map(|c| c.id).collect();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "out-of-order dequeue: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_read_elision_fills_duplicates() {
+        let mut spmu = Spmu::new(SpmuConfig::default());
+        spmu.poke(9, 7.0);
+        let v = AccessVector::reads(&[9, 9, 9, 9]);
+        spmu.try_enqueue(v);
+        let done = drain(&mut spmu, 100);
+        // Lanes are padded to the configured width; the four populated
+        // lanes all observe the single performed read.
+        assert_eq!(&done[0].results[..4], &[Some(7.0); 4]);
+        assert!(done[0].results[4..].iter().all(Option::is_none));
+        assert_eq!(spmu.elided_reads.get(), 3);
+    }
+
+    #[test]
+    fn address_ordered_splits_same_address_writes() {
+        let cfg = SpmuConfig {
+            ordering: OrderingMode::AddressOrdered,
+            ..Default::default()
+        };
+        let mut spmu = Spmu::new(cfg);
+        let v = AccessVector::new(vec![
+            Some(LaneRequest::rmw(3, RmwOp::AddF, 1.0)),
+            Some(LaneRequest::rmw(3, RmwOp::AddF, 1.0)),
+            Some(LaneRequest::rmw(4, RmwOp::AddF, 1.0)),
+        ]);
+        spmu.try_enqueue(v);
+        drain(&mut spmu, 200);
+        assert_eq!(spmu.peek(3), 2.0);
+        assert_eq!(spmu.peek(4), 1.0);
+        assert_eq!(spmu.split_count(), 1);
+    }
+
+    #[test]
+    fn split_same_address_helper() {
+        let v = AccessVector::new(vec![
+            Some(LaneRequest::write(1, 1.0)),
+            Some(LaneRequest::write(1, 2.0)),
+            Some(LaneRequest::write(2, 3.0)),
+            Some(LaneRequest::write(1, 4.0)),
+        ]);
+        let parts = split_same_address(&v);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].occupancy(), 2); // addrs 1 and 2
+        assert_eq!(parts[1].occupancy(), 1);
+        assert_eq!(parts[2].occupancy(), 1);
+        // Lane positions preserved.
+        assert!(parts[0].lanes[0].is_some() && parts[0].lanes[2].is_some());
+    }
+
+    #[test]
+    fn ordering_modes_all_complete() {
+        for ordering in [
+            OrderingMode::Unordered,
+            OrderingMode::AddressOrdered,
+            OrderingMode::FullyOrdered,
+            OrderingMode::Arbitrated,
+        ] {
+            let cfg = SpmuConfig {
+                ordering,
+                ..Default::default()
+            };
+            let mut spmu = Spmu::new(cfg);
+            let mut done = 0;
+            let mut sent = 0;
+            let mut budget = 50_000;
+            while done < 10 && budget > 0 {
+                budget -= 1;
+                if sent < 10 {
+                    let addrs: Vec<u32> =
+                        (0..16).map(|i| (sent as u32 * 31 + i * 7) % 1024).collect();
+                    if spmu.try_enqueue(AccessVector::reads(&addrs)) {
+                        sent += 1;
+                    }
+                }
+                done += spmu.tick().len();
+            }
+            assert_eq!(done, 10, "{ordering:?} failed to complete");
+        }
+    }
+
+    #[test]
+    fn ideal_mode_ignores_conflicts() {
+        let cfg = SpmuConfig {
+            ideal_conflict_free: true,
+            ..Default::default()
+        };
+        let mut spmu = Spmu::new(cfg);
+        // All 16 lanes to the same bank: ideal issues all at once.
+        let v = AccessVector::reads(&(0..16).map(|_| 0u32).collect::<Vec<_>>());
+        // Disable elision to force 16 real requests.
+        spmu.cfg.elide_repeated_reads = false;
+        spmu.try_enqueue(v);
+        spmu.tick(); // admit
+        let grants_cycle = spmu.tick(); // issue all
+        let _ = grants_cycle;
+        // After pipeline latency, everything is done in one dequeue.
+        let done = drain(&mut spmu, 10);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_are_enforced() {
+        let spmu = Spmu::new(SpmuConfig::default());
+        assert_eq!(spmu.config().capacity_words(), 65_536);
+        let result = std::panic::catch_unwind(|| {
+            let mut s = Spmu::new(SpmuConfig::default());
+            s.poke(70_000, 1.0);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn window_sizes_follow_paper() {
+        let cfg = SpmuConfig::default();
+        assert_eq!(cfg.window_for_iteration(0), 5);
+        assert_eq!(cfg.window_for_iteration(1), 10);
+        assert_eq!(cfg.window_for_iteration(2), 16);
+        let mut one_pri = cfg;
+        one_pri.priorities = 1;
+        assert_eq!(one_pri.window_for_iteration(0), 16);
+        let mut d8 = cfg;
+        d8.queue_depth = 8;
+        assert_eq!(d8.window_for_iteration(0), 3);
+        assert_eq!(d8.window_for_iteration(1), 5);
+        assert_eq!(d8.window_for_iteration(2), 8);
+    }
+}

@@ -1,0 +1,184 @@
+//! Read-modify-write operations executed by the per-bank FPU.
+//!
+//! Paper §3.1: "Each request then enters an independent read-modify-write
+//! (RMW) execution pipeline with one SRAM bank and an FPU, which is capable
+//! of integer and floating point addition and subtraction along with
+//! several bitwise operations. The execution unit has separately
+//! configurable result muxes for returned data and updated memory values,
+//! which allows operations like test-and-set, write-if-memory-zero, swap,
+//! min-report-changed, and max. For example, min-report-changed can be
+//! used for SSSP distance updates, and write-if-memory-zero can be used to
+//! avoid overwriting backpointers in BFS."
+
+/// The atomic operation carried by one lane request.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RmwOp {
+    /// Plain load; memory unchanged, returns the stored value.
+    #[default]
+    Read,
+    /// Plain store; returns the *old* value.
+    Write,
+    /// Floating-point accumulate; returns the *new* value.
+    AddF,
+    /// Floating-point subtract-accumulate; returns the *new* value.
+    SubF,
+    /// Integer accumulate on the 32-bit word (bit pattern); returns new.
+    AddI,
+    /// `mem = min(mem, x)`; returns 1.0 if the value changed, else 0.0
+    /// (the paper's "min-report-changed", used by SSSP).
+    MinReportChanged,
+    /// `mem = max(mem, x)`; returns 1.0 if the value changed, else 0.0.
+    MaxReportChanged,
+    /// `mem = 1.0`; returns the old value (test-and-set, used by BFS
+    /// reached-sets).
+    TestAndSet,
+    /// `if mem == 0 { mem = x }`; returns the old value (used by BFS to
+    /// avoid overwriting back-pointers).
+    WriteIfZero,
+    /// `mem = x`; returns the old value (used by SpMSpM to swap the
+    /// accumulator tile with zero).
+    Swap,
+    /// Bitwise OR on the word; returns the new value (frontier insertion).
+    Or,
+    /// Bitwise AND on the word; returns the new value.
+    And,
+    /// Bitwise XOR on the word; returns the new value.
+    Xor,
+}
+
+impl RmwOp {
+    /// Applies the operation: `(old, operand) -> (new_memory, returned)`.
+    pub fn apply(self, old: f32, operand: f32) -> (f32, f32) {
+        match self {
+            RmwOp::Read => (old, old),
+            RmwOp::Write => (operand, old),
+            RmwOp::AddF => {
+                let new = old + operand;
+                (new, new)
+            }
+            RmwOp::SubF => {
+                let new = old - operand;
+                (new, new)
+            }
+            RmwOp::AddI => {
+                let new = (old.to_bits() as i32).wrapping_add(operand.to_bits() as i32);
+                let new = f32::from_bits(new as u32);
+                (new, new)
+            }
+            RmwOp::MinReportChanged => {
+                if operand < old {
+                    (operand, 1.0)
+                } else {
+                    (old, 0.0)
+                }
+            }
+            RmwOp::MaxReportChanged => {
+                if operand > old {
+                    (operand, 1.0)
+                } else {
+                    (old, 0.0)
+                }
+            }
+            RmwOp::TestAndSet => (1.0, old),
+            RmwOp::WriteIfZero => {
+                if old == 0.0 {
+                    (operand, old)
+                } else {
+                    (old, old)
+                }
+            }
+            RmwOp::Swap => (operand, old),
+            RmwOp::Or => {
+                let new = f32::from_bits(old.to_bits() | operand.to_bits());
+                (new, new)
+            }
+            RmwOp::And => {
+                let new = f32::from_bits(old.to_bits() & operand.to_bits());
+                (new, new)
+            }
+            RmwOp::Xor => {
+                let new = f32::from_bits(old.to_bits() ^ operand.to_bits());
+                (new, new)
+            }
+        }
+    }
+
+    /// Whether the operation leaves memory unchanged (pure read).
+    pub fn is_read_only(self) -> bool {
+        matches!(self, RmwOp::Read)
+    }
+
+    /// Whether the operation may modify memory.
+    pub fn is_update(self) -> bool {
+        !self.is_read_only()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_and_write() {
+        assert_eq!(RmwOp::Read.apply(3.0, 9.0), (3.0, 3.0));
+        assert_eq!(RmwOp::Write.apply(3.0, 9.0), (9.0, 3.0));
+    }
+
+    #[test]
+    fn float_accumulate() {
+        assert_eq!(RmwOp::AddF.apply(1.5, 2.5), (4.0, 4.0));
+        assert_eq!(RmwOp::SubF.apply(1.5, 2.5), (-1.0, -1.0));
+    }
+
+    #[test]
+    fn integer_accumulate_wraps() {
+        let a = f32::from_bits(5);
+        let b = f32::from_bits(7);
+        let (new, ret) = RmwOp::AddI.apply(a, b);
+        assert_eq!(new.to_bits(), 12);
+        assert_eq!(ret.to_bits(), 12);
+    }
+
+    #[test]
+    fn min_report_changed_for_sssp() {
+        // Distance improves: memory updates and reports change.
+        assert_eq!(RmwOp::MinReportChanged.apply(10.0, 4.0), (4.0, 1.0));
+        // Distance does not improve: memory unchanged, no report.
+        assert_eq!(RmwOp::MinReportChanged.apply(4.0, 10.0), (4.0, 0.0));
+        assert_eq!(RmwOp::MaxReportChanged.apply(4.0, 10.0), (10.0, 1.0));
+    }
+
+    #[test]
+    fn test_and_set_for_bfs() {
+        assert_eq!(RmwOp::TestAndSet.apply(0.0, 0.0), (1.0, 0.0));
+        assert_eq!(RmwOp::TestAndSet.apply(1.0, 0.0), (1.0, 1.0));
+    }
+
+    #[test]
+    fn write_if_zero_preserves_backpointers() {
+        assert_eq!(RmwOp::WriteIfZero.apply(0.0, 7.0), (7.0, 0.0));
+        assert_eq!(RmwOp::WriteIfZero.apply(3.0, 7.0), (3.0, 3.0));
+    }
+
+    #[test]
+    fn swap_returns_old() {
+        assert_eq!(RmwOp::Swap.apply(2.0, 0.0), (0.0, 2.0));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = f32::from_bits(0b1100);
+        let b = f32::from_bits(0b1010);
+        assert_eq!(RmwOp::Or.apply(a, b).0.to_bits(), 0b1110);
+        assert_eq!(RmwOp::And.apply(a, b).0.to_bits(), 0b1000);
+        assert_eq!(RmwOp::Xor.apply(a, b).0.to_bits(), 0b0110);
+    }
+
+    #[test]
+    fn read_only_classification() {
+        assert!(RmwOp::Read.is_read_only());
+        for op in [RmwOp::Write, RmwOp::AddF, RmwOp::TestAndSet, RmwOp::Swap] {
+            assert!(op.is_update());
+        }
+    }
+}

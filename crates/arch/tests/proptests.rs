@@ -1,0 +1,216 @@
+//! Property-based tests for the microarchitecture models: allocator
+//! legality, hash bijectivity, SpMU functional equivalence across
+//! ordering modes, scanner/naive equivalence with cycle bounds, and
+//! shuffle-network conservation.
+
+use capstan_arch::scanner::{BitVecScanner, ScanMode};
+use capstan_arch::shuffle::{merge_vectors, MergeShift, ShuffleEntry, ShuffleVector};
+use capstan_arch::spmu::alloc::{allocate, maximal_matching};
+use capstan_arch::spmu::driver::run_vectors;
+use capstan_arch::spmu::{
+    AccessVector, BankHash, BloomFilter, LaneRequest, OrderingMode, RmwOp, SpmuConfig,
+};
+use capstan_tensor::bitvec::BitVec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocator_grants_are_legal(
+        masks in prop::collection::vec(any::<u64>(), 1..32),
+        iterations in 1usize..4,
+    ) {
+        let iters: Vec<Vec<u64>> = (0..iterations).map(|_| masks.clone()).collect();
+        let result = allocate(&iters, 16);
+        // One grant per port, one port per bank, and only requested banks.
+        let mut banks_seen = std::collections::HashSet::new();
+        for (port, grant) in result.grants.iter().enumerate() {
+            if let Some(bank) = grant {
+                prop_assert!(*bank < 16);
+                prop_assert!(masks[port] >> bank & 1 == 1, "ungranted bank {bank}");
+                prop_assert!(banks_seen.insert(*bank), "bank {bank} granted twice");
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_never_beats_maximum_matching(
+        masks in prop::collection::vec(0u64..(1 << 16), 1..24),
+    ) {
+        let separable = allocate(&[masks.clone(), masks.clone(), masks.clone()], 16);
+        let maximum = maximal_matching(&masks, 16);
+        prop_assert!(separable.total() <= maximum.total());
+        // Three iterations should reach at least half the maximum.
+        prop_assert!(2 * separable.total() >= maximum.total());
+    }
+
+    #[test]
+    fn hash_is_bijective_per_offset_group(base in 0u32..60_000) {
+        // Within any aligned group of 16 consecutive addresses, the hash
+        // must produce 16 distinct banks (no within-offset collisions).
+        let base = base & !0xF;
+        let mut seen = [false; 16];
+        for i in 0..16 {
+            let b = BankHash::Hashed.bank_of(base + i, 16);
+            prop_assert!(!seen[b], "collision at {}", base + i);
+            seen[b] = true;
+        }
+    }
+
+    #[test]
+    fn rmw_add_commutes_across_orderings(
+        addrs in prop::collection::vec(0u32..256, 1..64),
+    ) {
+        // Floating-point AddF with value 1.0 is exactly associative for
+        // small counts, so every ordering mode must produce the same
+        // final memory.
+        let vectors: Vec<AccessVector> = addrs
+            .chunks(16)
+            .map(|c| {
+                AccessVector::new(
+                    c.iter().map(|&a| Some(LaneRequest::rmw(a, RmwOp::AddF, 1.0))).collect(),
+                )
+            })
+            .collect();
+        let final_mem = |mode: OrderingMode| -> Vec<f32> {
+            let cfg = SpmuConfig {
+                ordering: mode,
+                ..Default::default()
+            };
+            let mut spmu = capstan_arch::spmu::Spmu::new(cfg);
+            let mut pending: Option<AccessVector> = None;
+            let mut iter = vectors.iter();
+            for _ in 0..20_000 {
+                if pending.is_none() {
+                    pending = iter.next().cloned();
+                }
+                if let Some(v) = pending.take() {
+                    if !spmu.try_enqueue(v.clone()) {
+                        pending = Some(v);
+                    }
+                }
+                spmu.tick();
+                if pending.is_none() && spmu.is_idle() && iter.len() == 0 {
+                    break;
+                }
+            }
+            (0..256).map(|a| spmu.peek(a)).collect()
+        };
+        let reference = final_mem(OrderingMode::Unordered);
+        for mode in [OrderingMode::AddressOrdered, OrderingMode::FullyOrdered, OrderingMode::Arbitrated] {
+            prop_assert_eq!(final_mem(mode), reference.clone(), "{:?}", mode);
+        }
+    }
+
+    #[test]
+    fn spmu_never_loses_requests(
+        addrs in prop::collection::vec(0u32..4096, 1..80),
+        depth in prop::sample::select(vec![8usize, 16, 32]),
+    ) {
+        let vectors: Vec<AccessVector> =
+            addrs.chunks(16).map(AccessVector::reads).collect();
+        let cfg = SpmuConfig {
+            queue_depth: depth,
+            ..Default::default()
+        };
+        let result = run_vectors(cfg, &vectors);
+        prop_assert_eq!(result.requests, addrs.len() as u64);
+    }
+
+    #[test]
+    fn scanner_cycles_are_bounded(
+        idx in prop::collection::btree_set(0u32..2048, 0..256),
+        width in prop::sample::select(vec![64usize, 128, 256, 512]),
+        outputs in prop::sample::select(vec![4usize, 8, 16]),
+    ) {
+        let bv = BitVec::from_indices(2048, &idx.iter().copied().collect::<Vec<_>>()).unwrap();
+        let scanner = BitVecScanner::new(width, outputs);
+        let stats = scanner.scan_cycles(ScanMode::Union, &bv, None);
+        prop_assert_eq!(stats.emitted, idx.len() as u64);
+        // Lower bounds: one cycle per window, one cycle per `outputs`.
+        let windows = (2048usize).div_ceil(width) as u64;
+        prop_assert!(stats.cycles >= windows);
+        prop_assert!(stats.cycles >= (idx.len() as u64).div_ceil(outputs as u64));
+        // Upper bound: windows + emission overflow.
+        prop_assert!(stats.cycles <= windows + (idx.len() as u64).div_ceil(outputs as u64));
+    }
+
+    #[test]
+    fn merge_conserves_and_orders_entries(
+        a_occ in prop::collection::vec(any::<bool>(), 16),
+        b_occ in prop::collection::vec(any::<bool>(), 16),
+        shift in prop::sample::select(vec![MergeShift::None, MergeShift::One, MergeShift::Full]),
+    ) {
+        let mk = |occ: &[bool]| -> ShuffleVector {
+            occ.iter()
+                .enumerate()
+                .map(|(l, &on)| if on { Some(ShuffleEntry { dest: 0, lane: l }) } else { None })
+                .collect()
+        };
+        let (a, b) = (mk(&a_occ), mk(&b_occ));
+        let total = a.iter().flatten().count() + b.iter().flatten().count();
+        let (outs, stats) = merge_vectors(&a, &b, 16, shift);
+        let out_total: usize = outs.iter().map(|v| v.iter().flatten().count()).sum();
+        prop_assert_eq!(out_total, total, "entries lost or duplicated");
+        prop_assert_eq!(stats.entries as usize, total);
+        // Shift radius respected: entries stay within +-radius of a source
+        // lane that had an entry (checked loosely via occupancy).
+        if shift == MergeShift::None {
+            for v in &outs {
+                for (lane, e) in v.iter().enumerate() {
+                    if e.is_some() {
+                        prop_assert!(a_occ[lane] || b_occ[lane]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_filter_has_no_false_negatives(
+        ops in prop::collection::vec((any::<bool>(), 0u32..512), 1..128),
+    ) {
+        // Replay an insert/remove interleaving, tracking a reference
+        // multiset; any address currently in the multiset must hit.
+        let mut filter = BloomFilter::paper_default();
+        let mut reference: std::collections::HashMap<u32, usize> = Default::default();
+        for (insert, addr) in ops {
+            if insert {
+                filter.insert(addr);
+                *reference.entry(addr).or_default() += 1;
+            } else if let Some(count) = reference.get_mut(&addr) {
+                if *count > 0 {
+                    filter.remove(addr);
+                    *count -= 1;
+                }
+            }
+        }
+        for (&addr, &count) in &reference {
+            if count > 0 {
+                prop_assert!(filter.may_contain(addr), "false negative at {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn unordered_is_fastest_mode(
+        seed in 1u64..500,
+    ) {
+        use capstan_arch::spmu::driver::measure_random_throughput;
+        let measure = |mode: OrderingMode| {
+            let cfg = SpmuConfig {
+                ordering: mode,
+                ..Default::default()
+            };
+            measure_random_throughput(cfg, seed, 200, 800).bank_utilization
+        };
+        let unordered = measure(OrderingMode::Unordered);
+        for mode in [OrderingMode::AddressOrdered, OrderingMode::FullyOrdered, OrderingMode::Arbitrated] {
+            prop_assert!(
+                unordered + 0.02 >= measure(mode),
+                "{:?} beat unordered", mode
+            );
+        }
+    }
+}

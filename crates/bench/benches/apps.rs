@@ -1,0 +1,54 @@
+//! Criterion benches for end-to-end application simulation — one per
+//! Table 12 column. Each iteration records and simulates the app at the
+//! small suite scale, exercising the full stack (recorder -> unit sims ->
+//! performance engine).
+
+use capstan_bench::{AppId, Suite};
+use capstan_core::config::CapstanConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_apps(c: &mut Criterion) {
+    let suite = Suite::small();
+    let cfg = CapstanConfig::paper_default();
+    let mut group = c.benchmark_group("simulate_app");
+    group.sample_size(10);
+    for app in AppId::ALL {
+        let instance = suite.build(app, app.datasets()[0]);
+        group.bench_with_input(
+            BenchmarkId::new("hbm2e", app.short()),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    let report = inst.simulate(&cfg);
+                    assert!(report.cycles > 0);
+                    report.cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_platform_sweep(c: &mut Criterion) {
+    use capstan_baselines::plasticine;
+    use capstan_core::config::MemoryKind;
+    let suite = Suite::small();
+    let app = suite.build(AppId::CsrSpmv, AppId::CsrSpmv.datasets()[0]);
+    let mut group = c.benchmark_group("simulate_platform");
+    group.sample_size(10);
+    let configs = [
+        ("ideal", CapstanConfig::ideal()),
+        ("hbm2e", CapstanConfig::paper_default()),
+        ("ddr4", CapstanConfig::new(MemoryKind::Ddr4)),
+        ("plasticine", plasticine::config(MemoryKind::Hbm2e)),
+    ];
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::new("csr_spmv", name), &cfg, |b, cfg| {
+            b.iter(|| app.simulate(cfg).cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps, bench_platform_sweep);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the *measured* CPU baseline kernels (the
+//! TACO / GraphIt stand-ins behind Table 12's CPU row). These run real
+//! multi-threaded kernels on this machine, providing a measured sanity
+//! anchor for the simulated speedups.
+
+use capstan_apps::common::inv_out_degree;
+use capstan_baselines::cpu;
+use capstan_tensor::gen::Dataset;
+use capstan_tensor::{Csc, Csr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_spmv(c: &mut Criterion) {
+    let m = Dataset::Ckt11752.generate_scaled(0.2);
+    let csr = Csr::from_coo(&m);
+    let csc = Csc::from_coo(&m);
+    let x: Vec<f32> = (0..csr.cols()).map(|i| (i % 7) as f32 + 0.5).collect();
+    let threads = cpu::default_threads();
+    let mut group = c.benchmark_group("cpu_spmv");
+    group.bench_with_input(BenchmarkId::new("csr", threads), &csr, |b, m| {
+        b.iter(|| cpu::spmv_csr_parallel(m, &x, threads))
+    });
+    group.bench_with_input(BenchmarkId::new("csc", threads), &csc, |b, m| {
+        b.iter(|| cpu::spmv_csc_parallel(m, &x, threads))
+    });
+    group.bench_function("csr_serial", |b| b.iter(|| csr.spmv(&x)));
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let g = Dataset::UsRoads.generate_scaled(0.05);
+    let out_adj = Csr::from_coo(&g);
+    let in_adj = Csr::from_coo(&g.transpose());
+    let inv = inv_out_degree(&out_adj);
+    let rank = vec![1.0f32 / g.rows() as f32; g.rows()];
+    let threads = cpu::default_threads();
+    let source = (0..out_adj.rows())
+        .max_by_key(|&v| out_adj.row_len(v))
+        .unwrap() as u32;
+    let mut group = c.benchmark_group("cpu_graph");
+    group.bench_function("pagerank_pull", |b| {
+        b.iter(|| cpu::pagerank_pull_parallel(&in_adj, &inv, &rank, 0.85, threads))
+    });
+    group.bench_function("bfs", |b| {
+        b.iter(|| cpu::bfs_parallel(&out_adj, source, threads))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches for the extension applications (GCN/SpMM, CG,
+//! BCSR): end-to-end record+simulate, matching the methodology of the
+//! `apps` bench.
+
+use capstan_apps::cg::ConjugateGradient;
+use capstan_apps::gnn::{GcnLayer, Spmm};
+use capstan_apps::spmv::BcsrSpmv;
+use capstan_apps::App;
+use capstan_core::config::CapstanConfig;
+use capstan_tensor::dense::DenseMatrix;
+use capstan_tensor::gen;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_extensions(c: &mut Criterion) {
+    let cfg = CapstanConfig::paper_default();
+    let mut group = c.benchmark_group("simulate_extension");
+    group.sample_size(10);
+
+    let graph = gen::power_law(2000, 16_000, 2.1, 7);
+    let b = DenseMatrix::from_fn(graph.cols(), 32, |r, c| ((r + c) % 3) as f32 - 1.0);
+    let spmm = Spmm::new(&graph, b);
+    group.bench_function("spmm", |bench| {
+        bench.iter(|| {
+            let report = spmm.simulate(&cfg);
+            assert!(report.cycles > 0);
+            report.cycles
+        })
+    });
+
+    let layer = GcnLayer::with_synthetic(&graph, 32, 32);
+    group.bench_function("gcn_layer", |bench| {
+        bench.iter(|| {
+            let report = layer.simulate(&cfg);
+            assert!(report.cycles > 0);
+            report.cycles
+        })
+    });
+
+    let system = gen::multi_diagonal(3000, 21_000);
+    let mut cg = ConjugateGradient::new(&system);
+    cg.iterations = 4;
+    group.bench_function("cg", |bench| {
+        bench.iter(|| {
+            let report = cg.simulate(&cfg);
+            assert!(report.cycles > 0);
+            report.cycles
+        })
+    });
+
+    let banded = gen::banded(2048, 100_000, 11);
+    let bcsr = BcsrSpmv::new(&banded, 16);
+    group.bench_function("bcsr_spmv", |bench| {
+        bench.iter(|| {
+            let report = bcsr.simulate(&cfg);
+            assert!(report.cycles > 0);
+            report.cycles
+        })
+    });
+    group.finish();
+}
+
+fn bench_format_construction(c: &mut Criterion) {
+    // Pure-substrate cost: building BCSR at several block sizes.
+    let coo = gen::banded(4096, 250_000, 3);
+    let mut group = c.benchmark_group("bcsr_from_coo");
+    group.sample_size(20);
+    for block in [4usize, 16] {
+        group.bench_function(format!("block_{block}"), |bench| {
+            bench.iter(|| {
+                let m = capstan_tensor::bcsr::Bcsr::from_coo(&coo, block);
+                assert!(m.blocks() > 0);
+                m.stored_values()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions, bench_format_construction);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the scanner models (behind Table 5 and Fig. 6):
+//! bit-vector scans across densities and widths, data scans, and bit-tree
+//! merges.
+
+use capstan_arch::scanner::{scan_bittree, BitVecScanner, DataScanner, ScanMode};
+use capstan_tensor::bittree::BitTree;
+use capstan_tensor::bitvec::BitVec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn sparse_bitvec(len: usize, stride: usize) -> BitVec {
+    let idx: Vec<u32> = (0..len as u32).step_by(stride).collect();
+    BitVec::from_indices(len, &idx).unwrap()
+}
+
+fn bench_bitvec_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scanner_bitvec");
+    let a = sparse_bitvec(1 << 16, 37);
+    let b = sparse_bitvec(1 << 16, 23);
+    for width in [64usize, 256, 512] {
+        let scanner = BitVecScanner::new(width, 16);
+        group.bench_with_input(BenchmarkId::new("width", width), &scanner, |bch, s| {
+            bch.iter(|| s.scan_cycles(ScanMode::Union, &a, Some(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scanner_density");
+    let scanner = BitVecScanner::default();
+    for stride in [2usize, 16, 256] {
+        let a = sparse_bitvec(1 << 16, stride);
+        group.bench_with_input(BenchmarkId::new("stride", stride), &a, |bch, a| {
+            bch.iter(|| scanner.scan_cycles(ScanMode::Intersect, a, None))
+        });
+    }
+    group.finish();
+}
+
+fn bench_data_scan(c: &mut Criterion) {
+    let data: Vec<f32> = (0..65_536)
+        .map(|i| if i % 13 == 0 { 1.0 } else { 0.0 })
+        .collect();
+    let ds = DataScanner::default();
+    c.bench_function("scanner_data_64k", |b| b.iter(|| ds.scan(&data)));
+}
+
+fn bench_bittree(c: &mut Criterion) {
+    let a =
+        BitTree::from_indices(262_144, &(0..2000u32).map(|i| i * 100).collect::<Vec<_>>()).unwrap();
+    let b = BitTree::from_indices(
+        262_144,
+        &(0..2000u32).map(|i| i * 100 + 50).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let scanner = BitVecScanner::default();
+    c.bench_function("scanner_bittree_union", |bch| {
+        bch.iter(|| scan_bittree(&scanner, ScanMode::Union, &a, &b))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bitvec_scan,
+    bench_density_sweep,
+    bench_data_scan,
+    bench_bittree
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for the shuffle network model (behind Table 11):
+//! butterfly routing throughput per merge-shift flexibility.
+
+use capstan_arch::shuffle::{
+    ButterflyNetwork, MergeShift, ShuffleConfig, ShuffleEntry, ShuffleVector,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn synth_streams(ports: usize, lanes: usize, vectors: usize) -> Vec<Vec<ShuffleVector>> {
+    let mut state = 0x5EED_u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    (0..ports)
+        .map(|src| {
+            (0..vectors)
+                .map(|_| {
+                    (0..lanes)
+                        .map(|lane| {
+                            if next() % 2 == 0 {
+                                let dest = (next() % ports as u64) as u32;
+                                if dest as usize == src {
+                                    None
+                                } else {
+                                    Some(ShuffleEntry { dest, lane })
+                                }
+                            } else {
+                                None
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_route(c: &mut Criterion) {
+    let streams = synth_streams(16, 16, 32);
+    let mut group = c.benchmark_group("shuffle_route");
+    group.sample_size(20);
+    for shift in [MergeShift::None, MergeShift::One, MergeShift::Full] {
+        let net = ButterflyNetwork::new(ShuffleConfig {
+            shift,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("shift", shift.name()), &net, |b, net| {
+            b.iter(|| {
+                let result = net.route(&streams);
+                assert!(result.cycles > 0);
+                result
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the SpMU cycle simulator (the engine behind
+//! Tables 4, 9, 10 and Fig. 4): sustained random-trace throughput per
+//! design point and ordering mode.
+
+use capstan_arch::spmu::driver::measure_random_throughput;
+use capstan_arch::spmu::{OrderingMode, SpmuConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_table4_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmu_table4");
+    group.sample_size(10);
+    for depth in [8usize, 16, 32] {
+        for speedup in [1usize, 2] {
+            let cfg = SpmuConfig {
+                queue_depth: depth,
+                input_speedup: speedup,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new("depth_xbar", format!("d{depth}_s{speedup}")),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let r = measure_random_throughput(*cfg, 42, 200, 1000);
+                        assert!(r.bank_utilization > 0.3);
+                        r
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ordering_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmu_ordering");
+    group.sample_size(10);
+    for mode in [
+        OrderingMode::Unordered,
+        OrderingMode::AddressOrdered,
+        OrderingMode::FullyOrdered,
+        OrderingMode::Arbitrated,
+    ] {
+        let cfg = SpmuConfig {
+            ordering: mode,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("mode", mode.name()), &cfg, |b, cfg| {
+            b.iter(|| measure_random_throughput(*cfg, 7, 200, 1000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4_points, bench_ordering_modes);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <table4|table5|...|table13|fig4|fig5a|fig5b|fig5c|fig6|fig7|all> [--scale small|medium|large]
+//! ```
+
+use capstan_bench::experiments as exp;
+use capstan_bench::Suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut suite = Suite::medium();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let name = it.next().expect("--scale needs a value");
+                suite = Suite::from_name(name)
+                    .unwrap_or_else(|| panic!("unknown scale `{name}` (small|medium|large)"));
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    for w in which {
+        match w.as_str() {
+            "table4" => drop(exp::table4()),
+            "table5" => drop(exp::table5()),
+            "table6" => drop(exp::table6(&suite)),
+            "table7" => drop(exp::table7()),
+            "table8" => drop(exp::table8()),
+            "table9" => drop(exp::table9(&suite)),
+            "table10" => drop(exp::table10(&suite)),
+            "table11" => drop(exp::table11(&suite)),
+            "table12" => drop(exp::table12(&suite)),
+            "table13" => drop(exp::table13(&suite)),
+            "fig4" => drop(exp::fig4()),
+            "fig5a" => drop(exp::fig5a(&suite)),
+            "fig5b" => drop(exp::fig5b(&suite)),
+            "fig5c" => drop(exp::fig5c(&suite)),
+            "fig6" => drop(exp::fig6(&suite)),
+            "fig7" => drop(exp::fig7(&suite)),
+            "ablations" => drop(exp::ablations(&suite)),
+            "extensions" => drop(exp::extensions(&suite)),
+            "all" => drop(exp::all(&suite)),
+            other => eprintln!("unknown experiment `{other}`"),
+        }
+    }
+}

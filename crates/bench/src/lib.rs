@@ -1,0 +1,20 @@
+#![deny(missing_docs)]
+
+//! # capstan-bench
+//!
+//! The experiment harness: one entry point per table and figure of the
+//! paper's evaluation (Tables 4-13, Figures 4-7), each printing the same
+//! rows/series the paper reports, alongside the paper's published values
+//! where applicable.
+//!
+//! Run via the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p capstan-bench --bin experiments -- table12
+//! cargo run --release -p capstan-bench --bin experiments -- all --scale small
+//! ```
+
+pub mod experiments;
+pub mod suite;
+
+pub use suite::{AppId, Suite};

@@ -1,0 +1,266 @@
+//! Benchmark suite assembly: the paper's app x dataset matrix (Table 6)
+//! at configurable simulation scale.
+
+use capstan_apps::bfs::Bfs;
+use capstan_apps::bicgstab::BiCgStab;
+use capstan_apps::conv::SparseConv;
+use capstan_apps::mpm::MatrixAdd;
+use capstan_apps::pagerank::{PrEdge, PrPull};
+use capstan_apps::spmspm::SpMSpM;
+use capstan_apps::spmv::{CooSpmv, CscSpmv, CsrSpmv};
+use capstan_apps::sssp::Sssp;
+use capstan_apps::App;
+use capstan_tensor::gen::Dataset;
+
+/// The eleven applications, in Table 12 column order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppId {
+    /// CSR SpMV.
+    CsrSpmv,
+    /// COO SpMV.
+    CooSpmv,
+    /// CSC SpMV.
+    CscSpmv,
+    /// Sparse convolution.
+    Conv,
+    /// Pull PageRank.
+    PrPull,
+    /// Edge-centric PageRank.
+    PrEdge,
+    /// Breadth-first search.
+    Bfs,
+    /// Single-source shortest paths.
+    Sssp,
+    /// Sparse matrix addition.
+    MpM,
+    /// Gustavson SpMSpM.
+    SpMSpM,
+    /// Fused BiCGStab solver.
+    BiCgStab,
+}
+
+impl AppId {
+    /// All apps in Table 12 order.
+    pub const ALL: [AppId; 11] = [
+        AppId::CsrSpmv,
+        AppId::CooSpmv,
+        AppId::CscSpmv,
+        AppId::Conv,
+        AppId::PrPull,
+        AppId::PrEdge,
+        AppId::Bfs,
+        AppId::Sssp,
+        AppId::MpM,
+        AppId::SpMSpM,
+        AppId::BiCgStab,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::CsrSpmv => "CSR SpMV",
+            AppId::CooSpmv => "COO SpMV",
+            AppId::CscSpmv => "CSC SpMV",
+            AppId::Conv => "Conv",
+            AppId::PrPull => "PR-Pull",
+            AppId::PrEdge => "PR-Edge",
+            AppId::Bfs => "BFS",
+            AppId::Sssp => "SSSP",
+            AppId::MpM => "M+M",
+            AppId::SpMSpM => "SpMSpM",
+            AppId::BiCgStab => "BiCGStab",
+        }
+    }
+
+    /// Short column header.
+    pub fn short(self) -> &'static str {
+        match self {
+            AppId::CsrSpmv => "CSR",
+            AppId::CooSpmv => "COO",
+            AppId::CscSpmv => "CSC",
+            AppId::Conv => "Conv",
+            AppId::PrPull => "Pull",
+            AppId::PrEdge => "Edge",
+            AppId::Bfs => "BFS",
+            AppId::Sssp => "SSSP",
+            AppId::MpM => "M+M",
+            AppId::SpMSpM => "SpMSpM",
+            AppId::BiCgStab => "BiCG",
+        }
+    }
+
+    /// The paper's Table 6 datasets for this application.
+    pub fn datasets(self) -> &'static [Dataset] {
+        match self {
+            AppId::CsrSpmv | AppId::CooSpmv | AppId::CscSpmv | AppId::MpM | AppId::BiCgStab => &[
+                Dataset::Ckt11752,
+                Dataset::Trefethen20000,
+                Dataset::Bcsstk30,
+            ],
+            AppId::PrPull | AppId::PrEdge | AppId::Bfs | AppId::Sssp => {
+                &[Dataset::UsRoads, Dataset::WebStanford, Dataset::Flickr]
+            }
+            AppId::SpMSpM => &[Dataset::SpaceStation4, Dataset::Qc324, Dataset::Mbeacxc],
+            AppId::Conv => &[
+                Dataset::ResNet50L1,
+                Dataset::ResNet50L2,
+                Dataset::ResNet50L29,
+            ],
+        }
+    }
+
+    /// Normalization family for Table 12 ("the fastest Capstan-HBM2E
+    /// version of each application"): SpMV variants share a normalizer,
+    /// as do the PageRank variants.
+    pub fn family(self) -> &'static str {
+        match self {
+            AppId::CsrSpmv | AppId::CooSpmv | AppId::CscSpmv => "SpMV",
+            AppId::PrPull | AppId::PrEdge => "PageRank",
+            other => other.name(),
+        }
+    }
+}
+
+/// Simulation scale: the fraction of each dataset's paper-reported size
+/// that is generated and simulated. Scaled evaluation follows the paper's
+/// own practice of substituting a smaller graph when "simulation
+/// feasibility" demands it (§4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Suite {
+    /// Scale for the linear-algebra matrices (SpMV, M+M, BiCGStab).
+    pub la_scale: f64,
+    /// Scale for the graph datasets (PR, BFS, SSSP).
+    pub graph_scale: f64,
+    /// Scale for the small SpMSpM matrices.
+    pub spmspm_scale: f64,
+    /// Scale for the convolution layers (channel fraction).
+    pub conv_scale: f64,
+}
+
+impl Suite {
+    /// Fast suite for CI and iteration (seconds per experiment).
+    pub fn small() -> Self {
+        Suite {
+            la_scale: 0.04,
+            graph_scale: 0.015,
+            spmspm_scale: 0.5,
+            conv_scale: 0.10,
+        }
+    }
+
+    /// Medium suite (default for the experiment binary).
+    pub fn medium() -> Self {
+        Suite {
+            la_scale: 0.12,
+            graph_scale: 0.03,
+            spmspm_scale: 1.0,
+            conv_scale: 0.20,
+        }
+    }
+
+    /// Large suite (minutes per experiment).
+    pub fn large() -> Self {
+        Suite {
+            la_scale: 0.4,
+            graph_scale: 0.08,
+            spmspm_scale: 1.0,
+            conv_scale: 0.5,
+        }
+    }
+
+    /// Parses a scale name.
+    pub fn from_name(name: &str) -> Option<Suite> {
+        match name {
+            "small" => Some(Suite::small()),
+            "medium" => Some(Suite::medium()),
+            "large" => Some(Suite::large()),
+            _ => None,
+        }
+    }
+
+    fn scale_for(&self, app: AppId) -> f64 {
+        match app {
+            AppId::CsrSpmv | AppId::CooSpmv | AppId::CscSpmv | AppId::MpM | AppId::BiCgStab => {
+                self.la_scale
+            }
+            AppId::PrPull | AppId::PrEdge | AppId::Bfs | AppId::Sssp => self.graph_scale,
+            AppId::SpMSpM => self.spmspm_scale,
+            AppId::Conv => self.conv_scale,
+        }
+    }
+
+    /// Builds one application instance on one dataset.
+    pub fn build(&self, app: AppId, dataset: Dataset) -> Box<dyn App> {
+        let scale = self.scale_for(app);
+        match app {
+            AppId::Conv => Box::new(SparseConv::from_dataset(dataset, scale)),
+            _ => {
+                let m = dataset.generate_scaled(scale);
+                match app {
+                    AppId::CsrSpmv => Box::new(CsrSpmv::new(&m)),
+                    AppId::CooSpmv => Box::new(CooSpmv::new(&m)),
+                    AppId::CscSpmv => Box::new(CscSpmv::new(&m)),
+                    AppId::PrPull => Box::new(PrPull::new(&m)),
+                    AppId::PrEdge => Box::new(PrEdge::new(&m)),
+                    AppId::Bfs => Box::new(Bfs::new(&m)),
+                    AppId::Sssp => Box::new(Sssp::new(&m)),
+                    AppId::MpM => Box::new(MatrixAdd::self_shifted(&m)),
+                    AppId::SpMSpM => Box::new(SpMSpM::squared(&m)),
+                    AppId::BiCgStab => Box::new(BiCgStab::new(&m)),
+                    AppId::Conv => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Builds the app on all three of its paper datasets.
+    pub fn build_all(&self, app: AppId) -> Vec<Box<dyn App>> {
+        app.datasets().iter().map(|&d| self.build(app, d)).collect()
+    }
+}
+
+/// Geometric mean of a slice (0 if empty).
+pub fn gmean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.max(1e-300).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_builds_and_simulates() {
+        let suite = Suite::small();
+        let cfg = capstan_core::config::CapstanConfig::paper_default();
+        for app in AppId::ALL {
+            let instance = suite.build(app, app.datasets()[0]);
+            assert_eq!(instance.name(), app.name());
+            let report = instance.simulate(&cfg);
+            assert!(report.cycles > 0, "{} produced zero cycles", app.name());
+        }
+    }
+
+    #[test]
+    fn datasets_match_table6_grouping() {
+        assert_eq!(AppId::CsrSpmv.datasets().len(), 3);
+        assert_eq!(AppId::Bfs.datasets()[0], Dataset::UsRoads);
+        assert_eq!(AppId::SpMSpM.datasets()[1], Dataset::Qc324);
+        assert_eq!(AppId::Conv.datasets()[2], Dataset::ResNet50L29);
+    }
+
+    #[test]
+    fn families_group_variants() {
+        assert_eq!(AppId::CsrSpmv.family(), AppId::CscSpmv.family());
+        assert_eq!(AppId::PrPull.family(), AppId::PrEdge.family());
+        assert_ne!(AppId::Bfs.family(), AppId::Sssp.family());
+    }
+
+    #[test]
+    fn gmean_basics() {
+        assert_eq!(gmean(&[]), 0.0);
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Shape tests on the experiment harness output: every experiment
+//! function returns its formatted report exactly so these tests can
+//! assert the reproduced claims without scraping stdout.
+//!
+//! Only the cheap experiments run here (the full sweeps are exercised by
+//! the `experiments` binary; see `experiments_medium.txt`).
+
+use capstan_bench::experiments as exp;
+use capstan_bench::Suite;
+
+/// Extracts every `float (float)` measured/paper pair from a table
+/// (tolerating padding inside the parentheses).
+fn measured_paper_pairs(report: &str) -> Vec<(f64, f64)> {
+    let normalized = report.replace("( ", "(").replace("(  ", "(");
+    let mut pairs = Vec::new();
+    let mut tokens = normalized.split_whitespace().peekable();
+    while let Some(tok) = tokens.next() {
+        if let Ok(measured) = tok.parse::<f64>() {
+            if let Some(next) = tokens.peek() {
+                if let Some(inner) = next.strip_prefix('(') {
+                    if let Ok(paper) = inner.trim_end_matches(')').parse::<f64>() {
+                        pairs.push((measured, paper));
+                        tokens.next();
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+#[test]
+fn table4_reproduces_every_synthesized_point_within_tolerance() {
+    let report = exp::table4();
+    let pairs = measured_paper_pairs(&report);
+    assert_eq!(pairs.len(), 18, "expected 18 design points:\n{report}");
+    for (measured, paper) in pairs {
+        assert!(
+            (measured - paper).abs() < 5.0,
+            "measured {measured} vs paper {paper} (>5 points off)"
+        );
+    }
+}
+
+#[test]
+fn table5_matches_paper_calibration() {
+    let report = exp::table5();
+    // The calibrated points print exactly; spot-check the design point
+    // and the largest scanner.
+    assert!(
+        report.contains("9456"),
+        "256-ish design point missing:\n{report}"
+    );
+    assert!(report.contains("42997"), "512x16 point missing:\n{report}");
+    assert!(
+        report.contains("54"),
+        "54% area-saving claim missing:\n{report}"
+    );
+}
+
+#[test]
+fn table7_prints_paper_constants() {
+    let report = exp::table7();
+    for needle in ["1800", "900", "68", "200", "80", "16", "256"] {
+        assert!(report.contains(needle), "missing `{needle}`:\n{report}");
+    }
+}
+
+#[test]
+fn table8_reproduces_area_power_overheads() {
+    let report = exp::table8();
+    assert!(
+        report.contains("area +16%") && report.contains("power +12%"),
+        "headline overheads missing:\n{report}"
+    );
+}
+
+#[test]
+fn fig4_shows_the_ordering_hierarchy() {
+    let report = exp::fig4();
+    // Utilization order: unordered > address-ordered >= arbitrated > full.
+    // Lines look like: "Unordered — util 79.8% (paper 79.9%)".
+    let util = |label: &str| -> f64 {
+        let line = report
+            .lines()
+            .find(|l| l.contains(label) && l.contains("util"))
+            .unwrap_or_else(|| panic!("no `{label}` line:\n{report}"));
+        line.split("util")
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split('%')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad utilization in `{line}`"))
+    };
+    let unordered = util("Unordered");
+    let addr = util("Address");
+    let full = util("Fully");
+    let arb = util("Arbitrated");
+    assert!(unordered > 70.0, "unordered {unordered}");
+    assert!(unordered > addr && addr > full, "{unordered} {addr} {full}");
+    assert!(unordered > arb, "{unordered} vs {arb}");
+}
+
+#[test]
+fn extensions_report_contains_the_three_studies() {
+    let suite = Suite::small();
+    let report = exp::extensions(&suite);
+    assert!(
+        report.contains("SpMM (32 features): 100.0%"),
+        "GNN occupancy:\n{report}"
+    );
+    assert!(report.contains("CG solver"), "{report}");
+    assert!(report.contains("CSR-vs-BCSR"), "{report}");
+    assert!(report.contains("CSR-vs-DCSR"), "{report}");
+    // The DCSR study's first row (hyper-sparse) must favor DCSR.
+    let first_row = report
+        .lines()
+        .skip_while(|l| !l.contains("occupied-rows"))
+        .nth(1)
+        .expect("DCSR table row");
+    let ratio: f64 = first_row
+        .split_whitespace()
+        .next_back()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        ratio > 1.5,
+        "hyper-sparse DCSR ratio {ratio} should exceed 1.5"
+    );
+}

@@ -1,0 +1,142 @@
+//! System-level Capstan configuration.
+
+use capstan_arch::grid::GridConfig;
+use capstan_arch::scanner::{BitVecScanner, DataScanner};
+use capstan_arch::shuffle::ShuffleConfig;
+use capstan_arch::spmu::SpmuConfig;
+pub use capstan_sim::dram::MemoryKind;
+use capstan_sim::network::NetworkConfig;
+
+/// Full configuration of a simulated Capstan system.
+///
+/// The default values are the paper's design point (Table 7): a 20x20
+/// CU/MU checkerboard with 80 AGs, 16-lane vectors, 16-bank SpMUs with a
+/// 16-deep allocated issue queue, a 256-bit/16-output scanner, and Mrg-1
+/// shuffle networks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapstanConfig {
+    /// Attached memory system.
+    pub memory: MemoryKind,
+    /// Chip grid (unit counts, lanes, SRAM geometry).
+    pub grid: GridConfig,
+    /// Sparse memory unit configuration.
+    pub spmu: SpmuConfig,
+    /// Bit-vector scanner configuration.
+    pub scanner: BitVecScanner,
+    /// Data scanner configuration.
+    pub data_scanner: DataScanner,
+    /// Shuffle network (`None` models a machine without one — Table 11's
+    /// "None" column, where cross-tile updates fall back to DRAM).
+    pub shuffle: Option<ShuffleConfig>,
+    /// On-chip network parameters.
+    pub network: NetworkConfig,
+    /// Read-only DRAM compression for pointer tiles (§3.4, Fig. 5c).
+    pub compression: bool,
+    /// Outer-parallel pipelines used by applications (bounded by the
+    /// grid's resources; Fig. 5b sweeps this).
+    pub outer_par: usize,
+    /// Model an ideal network and memory ("Capstan (Ideal Net & Mem)",
+    /// Table 12).
+    pub ideal_net_and_mem: bool,
+    /// Maximum access vectors per tile replayed through the cycle-level
+    /// SpMU (longer traces are sampled and extrapolated).
+    pub sram_sample_limit: usize,
+    /// Maximum request vectors per tile routed through the cycle-level
+    /// shuffle network model.
+    pub shuffle_sample_limit: usize,
+    /// Model sparse loop headers as *scalar stream-joins* (one
+    /// compare-dequeue decision per cycle) instead of the vectorized
+    /// scanner. This is how Plasticine — which has no scanner — must
+    /// iterate sparse data (paper §5 "Plasticine & Spatial").
+    pub scalar_stream_join: bool,
+    /// Extra bubble cycles per read-modify-write request, for fabrics
+    /// without an RMW pipeline where "each read must block on the
+    /// preceding write" (paper §5). Zero on Capstan.
+    pub rmw_bubble_cycles: u64,
+    /// Statically banked SRAM that serves only one random access per
+    /// cycle per memory (Plasticine, paper §5). Replaces the allocated
+    /// SpMU replay with full serialization.
+    pub serialized_sram: bool,
+}
+
+impl CapstanConfig {
+    /// The paper's design point attached to the given memory system.
+    pub fn new(memory: MemoryKind) -> Self {
+        CapstanConfig {
+            memory,
+            grid: GridConfig::default(),
+            spmu: SpmuConfig::default(),
+            scanner: BitVecScanner::default(),
+            data_scanner: DataScanner::default(),
+            shuffle: Some(ShuffleConfig::default()),
+            network: NetworkConfig::default(),
+            compression: true,
+            outer_par: 32,
+            ideal_net_and_mem: false,
+            sram_sample_limit: 384,
+            shuffle_sample_limit: 128,
+            scalar_stream_join: false,
+            rmw_bubble_cycles: 0,
+            serialized_sram: false,
+        }
+    }
+
+    /// The primary configuration evaluated in the paper (HBM2E).
+    pub fn paper_default() -> Self {
+        CapstanConfig::new(MemoryKind::Hbm2e)
+    }
+
+    /// The "Ideal Net & Mem" configuration (Table 12 row 1).
+    pub fn ideal() -> Self {
+        let mut cfg = CapstanConfig::new(MemoryKind::Ideal);
+        cfg.ideal_net_and_mem = true;
+        cfg.spmu.ideal_conflict_free = false; // SRAM conflicts still modeled
+        cfg
+    }
+
+    /// Number of outer-parallel pipelines actually usable, given that a
+    /// pipeline needs `cus_per_pipeline` CUs.
+    pub fn effective_outer_par(&self, cus_per_pipeline: usize) -> usize {
+        self.outer_par
+            .min(self.grid.max_outer_parallel(cus_per_pipeline))
+            .max(1)
+    }
+}
+
+impl Default for CapstanConfig {
+    fn default() -> Self {
+        CapstanConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_hbm2e() {
+        let cfg = CapstanConfig::paper_default();
+        assert_eq!(cfg.memory, MemoryKind::Hbm2e);
+        assert_eq!(cfg.grid.compute_units(), 200);
+        assert_eq!(cfg.spmu.queue_depth, 16);
+        assert_eq!(cfg.scanner.width, 256);
+        assert!(cfg.shuffle.is_some());
+    }
+
+    #[test]
+    fn ideal_config_disables_memory_costs() {
+        let cfg = CapstanConfig::ideal();
+        assert!(cfg.ideal_net_and_mem);
+        assert_eq!(cfg.memory, MemoryKind::Ideal);
+    }
+
+    #[test]
+    fn effective_outer_par_is_resource_bounded() {
+        let mut cfg = CapstanConfig::paper_default();
+        cfg.outer_par = 1000;
+        assert_eq!(cfg.effective_outer_par(1), 200);
+        assert_eq!(cfg.effective_outer_par(2), 100);
+        cfg.outer_par = 8;
+        assert_eq!(cfg.effective_outer_par(1), 8);
+    }
+}

@@ -1,0 +1,184 @@
+//! Banded (diagonal) sparse matrix format.
+//!
+//! Paper Table 1: "Banded — dense along a subset of diagonals." The
+//! format stores whole diagonals densely, so iteration needs no pointer
+//! chasing at all: the iteration space is `diagonals x rows`, fully
+//! affine — ideal for vector hardware when the structure cooperates
+//! (FEM stencils, Trefethen-style matrices).
+
+use crate::coo::Coo;
+use crate::{Index, Value};
+
+/// A matrix stored as a set of dense diagonals.
+///
+/// Diagonal `d` holds entries `(r, r + d)` (negative `d` = subdiagonal).
+///
+/// # Example
+///
+/// ```
+/// use capstan_tensor::{Coo, banded::Banded};
+///
+/// let coo = Coo::from_triplets(4, 4, vec![(0, 0, 1.0), (1, 1, 2.0), (0, 1, 5.0)]).unwrap();
+/// let m = Banded::from_coo(&coo);
+/// assert_eq!(m.diagonals(), &[0, 1]);
+/// assert_eq!(m.to_coo(), coo);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Banded {
+    rows: usize,
+    cols: usize,
+    /// Stored diagonal offsets, sorted.
+    offsets: Vec<i64>,
+    /// One dense lane per diagonal, indexed by row; length = rows.
+    lanes: Vec<Vec<Value>>,
+}
+
+impl Banded {
+    /// Builds from COO, storing every diagonal that has at least one
+    /// non-zero.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let mut offsets: Vec<i64> = coo.iter().map(|(r, c, _)| c as i64 - r as i64).collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        let mut lanes = vec![vec![0.0; coo.rows()]; offsets.len()];
+        for (r, c, v) in coo.iter() {
+            let d = c as i64 - r as i64;
+            let k = offsets.binary_search(&d).expect("offset recorded");
+            lanes[k][r as usize] = v;
+        }
+        Banded {
+            rows: coo.rows(),
+            cols: coo.cols(),
+            offsets,
+            lanes,
+        }
+    }
+
+    /// Converts back to COO (dropping stored zeros).
+    pub fn to_coo(&self) -> Coo {
+        let mut triplets = Vec::new();
+        for (k, &d) in self.offsets.iter().enumerate() {
+            for r in 0..self.rows {
+                let c = r as i64 + d;
+                if c >= 0 && (c as usize) < self.cols && self.lanes[k][r] != 0.0 {
+                    triplets.push((r as Index, c as Index, self.lanes[k][r]));
+                }
+            }
+        }
+        Coo::from_triplets(self.rows, self.cols, triplets).expect("valid diagonals")
+    }
+
+    /// Logical rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The stored diagonal offsets.
+    pub fn diagonals(&self) -> &[i64] {
+        &self.offsets
+    }
+
+    /// Bandwidth: largest absolute diagonal offset (0 for diagonal-only).
+    pub fn bandwidth(&self) -> i64 {
+        self.offsets.iter().map(|d| d.abs()).max().unwrap_or(0)
+    }
+
+    /// Storage in values (diagonals x rows).
+    pub fn stored_values(&self) -> usize {
+        self.offsets.len() * self.rows
+    }
+
+    /// Fill ratio of the stored lanes.
+    pub fn fill_ratio(&self) -> f64 {
+        let nnz: usize = self
+            .lanes
+            .iter()
+            .map(|l| l.iter().filter(|v| **v != 0.0).count())
+            .sum();
+        nnz as f64 / self.stored_values().max(1) as f64
+    }
+
+    /// Reference SpMV: one fully-affine loop per diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[Value]) -> Vec<Value> {
+        assert_eq!(x.len(), self.cols, "spmv dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (k, &d) in self.offsets.iter().enumerate() {
+            let lane = &self.lanes[k];
+            let r_lo = if d < 0 { (-d) as usize } else { 0 }.min(self.rows);
+            let r_hi = if d >= 0 {
+                self.rows.min(self.cols.saturating_sub(d as usize))
+            } else {
+                self.rows
+            };
+            for r in r_lo..r_hi {
+                let c = (r as i64 + d) as usize;
+                y[r] += lane[r] * x[c];
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use crate::gen;
+
+    #[test]
+    fn round_trip() {
+        let coo = gen::multi_diagonal(64, 300);
+        assert_eq!(Banded::from_coo(&coo).to_coo(), coo);
+    }
+
+    #[test]
+    fn trefethen_structure_is_compact() {
+        // Power-of-two off-diagonals: few distinct offsets.
+        let coo = gen::multi_diagonal(256, 2000);
+        let m = Banded::from_coo(&coo);
+        assert!(
+            m.diagonals().len() < 20,
+            "{} diagonals",
+            m.diagonals().len()
+        );
+        assert!(m.fill_ratio() > 0.5, "fill {:.3}", m.fill_ratio());
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let coo = gen::multi_diagonal(120, 900);
+        let banded = Banded::from_coo(&coo);
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<Value> = (0..120).map(|i| (i % 6) as Value * 0.5 + 0.25).collect();
+        let yb = banded.spmv(&x);
+        let yc = csr.spmv(&x);
+        for (a, b) in yb.iter().zip(&yc) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rectangular_matrices() {
+        let coo = Coo::from_triplets(3, 6, vec![(0, 3, 1.0), (2, 5, 2.0), (2, 0, -1.0)]).unwrap();
+        let m = Banded::from_coo(&coo);
+        assert_eq!(m.diagonals(), &[-2, 3]);
+        assert_eq!(m.to_coo(), coo);
+        assert_eq!(m.bandwidth(), 3);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Banded::from_coo(&Coo::zeros(4, 4));
+        assert_eq!(m.diagonals().len(), 0);
+        assert_eq!(m.spmv(&[1.0; 4]), vec![0.0; 4]);
+    }
+}

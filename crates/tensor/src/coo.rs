@@ -1,0 +1,221 @@
+//! Coordinate (COO) sparse matrix format.
+//!
+//! COO stores "compressed non-zeros with row/column pointers" (paper
+//! Table 1) and "permits iteration only over non-zero tensor values — not
+//! rows or columns — with more efficient storage for extremely sparse
+//! matrices" (§2.1). COO SpMV is one of the paper's core benchmarks: every
+//! non-zero triggers *two* random accesses (`V[c]` read, `Out[r]` atomic
+//! update, Table 2), which makes it the stress test for Capstan's
+//! read-modify-write memory pipeline.
+
+use crate::dense::DenseMatrix;
+use crate::error::{FormatError, Result};
+use crate::{Index, Value};
+
+/// A sparse matrix in coordinate format, sorted row-major and deduplicated.
+///
+/// # Invariants
+///
+/// * Entries are sorted by `(row, col)`.
+/// * No duplicate coordinates (duplicates are summed at construction).
+/// * All coordinates lie within `rows x cols`.
+///
+/// # Example
+///
+/// ```
+/// use capstan_tensor::Coo;
+///
+/// let m = Coo::from_triplets(2, 2, vec![(0, 1, 1.0), (0, 1, 2.0), (1, 0, 4.0)]).unwrap();
+/// assert_eq!(m.nnz(), 2); // duplicates summed
+/// assert_eq!(m.entries()[0], (0, 1, 3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(Index, Index, Value)>,
+}
+
+impl Coo {
+    /// Builds a COO matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may arrive in any order; duplicates are summed; explicit
+    /// zeros are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::IndexOutOfBounds`] if any coordinate exceeds
+    /// the stated dimensions.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        mut triplets: Vec<(Index, Index, Value)>,
+    ) -> Result<Self> {
+        for &(r, c, _) in &triplets {
+            if r as usize >= rows {
+                return Err(FormatError::IndexOutOfBounds {
+                    axis: 0,
+                    index: r as usize,
+                    extent: rows,
+                });
+            }
+            if c as usize >= cols {
+                return Err(FormatError::IndexOutOfBounds {
+                    axis: 1,
+                    index: c as usize,
+                    extent: cols,
+                });
+            }
+        }
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut entries: Vec<(Index, Index, Value)> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            match entries.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => entries.push((r, c, v)),
+            }
+        }
+        entries.retain(|&(_, _, v)| v != 0.0);
+        Ok(Coo {
+            rows,
+            cols,
+            entries,
+        })
+    }
+
+    /// An empty matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Density: `nnz / (rows * cols)`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.entries.len() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// Borrows the sorted `(row, col, value)` entries.
+    pub fn entries(&self) -> &[(Index, Index, Value)] {
+        &self.entries
+    }
+
+    /// Iterates over the sorted `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, Value)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Transposes the matrix (swaps rows and columns).
+    pub fn transpose(&self) -> Coo {
+        let triplets = self.entries.iter().map(|&(r, c, v)| (c, r, v)).collect();
+        Coo::from_triplets(self.cols, self.rows, triplets)
+            .expect("transpose of a valid matrix is valid")
+    }
+
+    /// Converts to a dense matrix (for tests and small examples).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.entries {
+            m[(r as usize, c as usize)] += v;
+        }
+        m
+    }
+
+    /// Builds a COO from a dense matrix, dropping zeros.
+    pub fn from_dense(m: &DenseMatrix) -> Coo {
+        let mut entries = Vec::new();
+        for r in 0..m.rows() {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    entries.push((r as Index, c as Index, v));
+                }
+            }
+        }
+        Coo {
+            rows: m.rows(),
+            cols: m.cols(),
+            entries,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Coo {
+    type Item = (Index, Index, Value);
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, (Index, Index, Value)>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_dedups() {
+        let m = Coo::from_triplets(
+            3,
+            3,
+            vec![(2, 0, 1.0), (0, 1, 2.0), (2, 0, 3.0), (0, 0, 5.0)],
+        )
+        .unwrap();
+        assert_eq!(m.entries(), &[(0, 0, 5.0), (0, 1, 2.0), (2, 0, 4.0)]);
+    }
+
+    #[test]
+    fn drops_explicit_and_cancelled_zeros() {
+        let m = Coo::from_triplets(2, 2, vec![(0, 0, 0.0), (1, 1, 2.0), (1, 1, -2.0)]).unwrap();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let err = Coo::from_triplets(2, 2, vec![(2, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, FormatError::IndexOutOfBounds { axis: 0, .. }));
+        let err = Coo::from_triplets(2, 2, vec![(0, 5, 1.0)]).unwrap_err();
+        assert!(matches!(err, FormatError::IndexOutOfBounds { axis: 1, .. }));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Coo::from_triplets(2, 3, vec![(0, 2, 1.0), (1, 0, 2.0)]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = Coo::from_triplets(2, 2, vec![(0, 1, 1.5), (1, 1, -2.0)]).unwrap();
+        assert_eq!(Coo::from_dense(&m.to_dense()), m);
+    }
+
+    #[test]
+    fn density() {
+        let m = Coo::from_triplets(2, 2, vec![(0, 0, 1.0)]).unwrap();
+        assert_eq!(m.density(), 0.25);
+        assert_eq!(Coo::zeros(0, 0).density(), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Graph analytics on Capstan: PageRank (pull and edge variants), BFS,
+//! and SSSP over road-network and power-law graphs, with the stall
+//! breakdown that explains why each behaves differently (paper Fig. 7).
+//!
+//! ```text
+//! cargo run --release --example graph_analytics
+//! ```
+
+use capstan::apps::bfs::Bfs;
+use capstan::apps::pagerank::{PrEdge, PrPull};
+use capstan::apps::sssp::Sssp;
+use capstan::apps::App;
+use capstan::core::config::CapstanConfig;
+use capstan::tensor::gen::Dataset;
+
+fn main() {
+    let cfg = CapstanConfig::paper_default();
+    for dataset in [Dataset::UsRoads, Dataset::WebStanford] {
+        let g = dataset.generate_scaled(0.02);
+        println!(
+            "\n=== {} (scaled): {} nodes, {} edges ===",
+            dataset.spec().name,
+            g.rows(),
+            g.nnz()
+        );
+        let apps: Vec<Box<dyn App>> = vec![
+            Box::new(PrPull::new(&g)),
+            Box::new(PrEdge::new(&g)),
+            Box::new(Bfs::new(&g)),
+            Box::new(Sssp::new(&g)),
+        ];
+        for app in &apps {
+            let report = app.simulate(&cfg);
+            println!("{report}");
+        }
+        // Functional spot checks.
+        let bfs = Bfs::new(&g);
+        let (_, result) = bfs.record(&cfg);
+        let reached = result.dist.iter().filter(|&&d| d != u32::MAX).count();
+        println!(
+            "BFS reaches {reached}/{} nodes in {} levels",
+            g.rows(),
+            result
+                .dist
+                .iter()
+                .filter(|&&d| d != u32::MAX)
+                .max()
+                .unwrap_or(&0)
+        );
+    }
+    println!();
+    println!("Paper §4.4: PR-Pull under-vectorizes on low-degree roads; PR-Edge");
+    println!("suffers SRAM conflicts on power-law hubs; BFS/SSSP pay network");
+    println!("round trips because levels cannot be pipelined.");
+}

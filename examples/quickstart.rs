@@ -1,0 +1,47 @@
+//! Quickstart: build a sparse matrix, run SpMV on a simulated Capstan,
+//! and inspect the cycle count and stall breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use capstan::apps::spmv::CsrSpmv;
+use capstan::apps::App;
+use capstan::core::config::{CapstanConfig, MemoryKind};
+use capstan::tensor::gen::Dataset;
+
+fn main() {
+    // 1. A synthetic stand-in for the paper's ckt11752_dc_1 circuit
+    //    matrix, at 10% of its published size (drop in a real .mtx file
+    //    via capstan::tensor::mm if you have one).
+    let matrix = Dataset::Ckt11752.generate_scaled(0.1);
+    println!(
+        "matrix: {}x{}, {} non-zeros ({:.3}% dense)",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz(),
+        matrix.density() * 100.0
+    );
+
+    // 2. CSR SpMV, mapped onto Capstan's declarative loop nests.
+    let app = CsrSpmv::new(&matrix);
+
+    // 3. Simulate on the paper's primary configuration (HBM2E) and on
+    //    DDR4 for comparison.
+    for memory in [MemoryKind::Hbm2e, MemoryKind::Ddr4] {
+        let cfg = CapstanConfig::new(memory);
+        let report = app.simulate(&cfg);
+        println!("\n--- {} ---", memory.name());
+        println!("{report}");
+    }
+
+    // 4. The recorded execution is functionally correct: compare the
+    //    simulated result against the CPU reference.
+    let cfg = CapstanConfig::paper_default();
+    let (_, y) = app.record(&cfg);
+    let reference = app.reference();
+    let err = capstan::apps::common::rel_l2_error(&y, &reference);
+    println!("\nfunctional check: relative L2 error vs CPU reference = {err:.2e}");
+    assert!(err < 1e-5);
+    println!("ok");
+}

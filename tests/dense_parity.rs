@@ -1,0 +1,80 @@
+//! Dense-workload parity: Capstan "retains its baseline's flexibility,
+//! performance, and programmability for dense applications" (paper §1) —
+//! its sparse mechanisms must cost nothing when a workload never touches
+//! them.
+
+use capstan::baselines::plasticine;
+use capstan::core::config::{CapstanConfig, MemoryKind};
+use capstan::core::perf::simulate;
+use capstan::core::program::{Workload, WorkloadBuilder};
+
+/// A dense streaming workload: tiled AXPY-like passes with sequential
+/// loads/stores, no scans, no random SRAM accesses, no cross-tile traffic.
+fn dense_workload(cfg: &CapstanConfig) -> Workload {
+    let mut wl = WorkloadBuilder::for_config("dense-axpy", cfg);
+    for _ in 0..32 {
+        let mut t = wl.tile();
+        t.dram_stream_read(64 * 1024);
+        t.foreach_vec(16 * 1024, |_, _| {});
+        t.dram_stream_write(32 * 1024);
+        wl.commit(t);
+    }
+    wl.finish()
+}
+
+/// A dense matmul-ish workload: compute-heavy, still no sparse features.
+fn dense_compute_workload(cfg: &CapstanConfig) -> Workload {
+    let mut wl = WorkloadBuilder::for_config("dense-gemm-tile", cfg);
+    for _ in 0..32 {
+        let mut t = wl.tile();
+        t.dram_stream_read(16 * 1024);
+        t.foreach_vec(256 * 1024, |_, _| {});
+        t.dram_stream_write(16 * 1024);
+        wl.commit(t);
+    }
+    wl.finish()
+}
+
+#[test]
+fn dense_streaming_parity_with_plasticine() {
+    let capstan_cfg = CapstanConfig::new(MemoryKind::Hbm2e);
+    let mut plasticine_cfg = plasticine::config(MemoryKind::Hbm2e);
+    // Compression is a Capstan feature; disable it for strict parity.
+    let mut capstan_flat = capstan_cfg;
+    capstan_flat.compression = false;
+    let c = simulate(&dense_workload(&capstan_flat), &capstan_flat);
+    let p = simulate(&dense_workload(&plasticine_cfg), &plasticine_cfg);
+    let ratio = c.cycles as f64 / p.cycles as f64;
+    assert!(
+        (ratio - 1.0).abs() < 0.01,
+        "dense runtime must match Plasticine exactly: ratio {ratio:.3}"
+    );
+    plasticine_cfg.compression = false;
+    let p2 = simulate(&dense_workload(&plasticine_cfg), &plasticine_cfg);
+    assert_eq!(p.cycles, p2.cycles);
+}
+
+#[test]
+fn dense_compute_parity_with_plasticine() {
+    let mut capstan_cfg = CapstanConfig::new(MemoryKind::Hbm2e);
+    capstan_cfg.compression = false;
+    let plasticine_cfg = plasticine::config(MemoryKind::Hbm2e);
+    let c = simulate(&dense_compute_workload(&capstan_cfg), &capstan_cfg);
+    let p = simulate(&dense_compute_workload(&plasticine_cfg), &plasticine_cfg);
+    assert_eq!(
+        c.cycles, p.cycles,
+        "compute-bound dense workloads must be identical"
+    );
+    // And they are compute-bound: active dominates.
+    assert!(c.breakdown.active * 2 > c.cycles);
+}
+
+#[test]
+fn dense_workloads_have_no_sparse_stalls() {
+    let cfg = CapstanConfig::new(MemoryKind::Hbm2e);
+    let report = simulate(&dense_workload(&cfg), &cfg);
+    assert_eq!(report.breakdown.scan, 0);
+    assert_eq!(report.breakdown.sram, 0);
+    assert_eq!(report.breakdown.network, 0);
+    assert_eq!(report.sram_bank_utilization, 0.0);
+}

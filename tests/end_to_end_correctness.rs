@@ -1,0 +1,144 @@
+//! End-to-end functional correctness: every application's recorded
+//! Capstan execution must match its CPU reference on every dataset class.
+
+use capstan::apps::bfs::Bfs;
+use capstan::apps::bicgstab::BiCgStab;
+use capstan::apps::common::rel_l2_error;
+use capstan::apps::conv::SparseConv;
+use capstan::apps::mpm::MatrixAdd;
+use capstan::apps::pagerank::{PrEdge, PrPull};
+use capstan::apps::spmspm::SpMSpM;
+use capstan::apps::spmv::{CooSpmv, CscSpmv, CsrSpmv};
+use capstan::apps::sssp::Sssp;
+use capstan::core::config::CapstanConfig;
+use capstan::tensor::gen::Dataset;
+
+const TOL: f64 = 1e-4;
+
+#[test]
+fn spmv_correct_on_every_la_dataset() {
+    let cfg = CapstanConfig::paper_default();
+    for ds in [
+        Dataset::Ckt11752,
+        Dataset::Trefethen20000,
+        Dataset::Bcsstk30,
+    ] {
+        let m = ds.generate_scaled(0.03);
+        let csr = CsrSpmv::new(&m);
+        assert!(
+            rel_l2_error(&csr.record(&cfg).1, &csr.reference()) < TOL,
+            "CSR {ds:?}"
+        );
+        let coo = CooSpmv::new(&m);
+        assert!(
+            rel_l2_error(&coo.record(&cfg).1, &coo.reference()) < TOL,
+            "COO {ds:?}"
+        );
+        let csc = CscSpmv::new(&m);
+        assert!(
+            rel_l2_error(&csc.record(&cfg).1, &csc.reference()) < TOL,
+            "CSC {ds:?}"
+        );
+    }
+}
+
+#[test]
+fn spmv_variants_agree_with_each_other() {
+    let cfg = CapstanConfig::paper_default();
+    let m = Dataset::Bcsstk30.generate_scaled(0.02);
+    let x = capstan::apps::common::dense_vector(m.cols());
+    let csr = CsrSpmv::with_vector(&m, x.clone());
+    let csc = CscSpmv::with_vector(&m, &x);
+    let (_, y_csr) = csr.record(&cfg);
+    let (_, y_csc) = csc.record(&cfg);
+    assert!(rel_l2_error(&y_csr, &y_csc) < TOL);
+}
+
+#[test]
+fn pagerank_correct_on_every_graph() {
+    let cfg = CapstanConfig::paper_default();
+    for ds in [Dataset::UsRoads, Dataset::WebStanford, Dataset::Flickr] {
+        let g = ds.generate_scaled(0.008);
+        let pull = PrPull::new(&g);
+        assert!(
+            rel_l2_error(&pull.record(&cfg).1, &pull.reference()) < TOL,
+            "PR-Pull {ds:?}"
+        );
+        let edge = PrEdge::new(&g);
+        assert!(
+            rel_l2_error(&edge.record(&cfg).1, &edge.reference()) < TOL,
+            "PR-Edge {ds:?}"
+        );
+    }
+}
+
+#[test]
+fn bfs_and_sssp_correct_on_every_graph() {
+    let cfg = CapstanConfig::paper_default();
+    for ds in [Dataset::UsRoads, Dataset::WebStanford, Dataset::Gnutella31] {
+        let g = ds.generate_scaled(0.008);
+        let bfs = Bfs::new(&g);
+        let (_, bfs_result) = bfs.record(&cfg);
+        assert_eq!(bfs_result.dist, bfs.reference().dist, "BFS {ds:?}");
+
+        let sssp = Sssp::new(&g);
+        let (_, sssp_result) = sssp.record(&cfg);
+        let dijkstra = sssp.reference();
+        for (v, (&a, &b)) in sssp_result.dist.iter().zip(&dijkstra.dist).enumerate() {
+            if b.is_infinite() {
+                assert!(a.is_infinite(), "SSSP {ds:?} node {v}");
+            } else {
+                assert!((a - b).abs() < 1e-3, "SSSP {ds:?} node {v}: {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_kernels_correct() {
+    let cfg = CapstanConfig::paper_default();
+    // M+M on a circuit matrix.
+    let m = Dataset::Ckt11752.generate_scaled(0.02);
+    let add = MatrixAdd::self_shifted(&m);
+    let (_, c) = add.record(&cfg);
+    assert_eq!(c.to_dense(), add.reference().to_dense());
+
+    // SpMSpM on qc324.
+    let q = Dataset::Qc324.generate_scaled(0.25);
+    let mul = SpMSpM::squared(&q);
+    let (_, c) = mul.record(&cfg);
+    let r = mul.reference();
+    let cd = c.to_dense();
+    let rd = r.to_dense();
+    for row in 0..cd.rows() {
+        for (x, y) in cd.row(row).iter().zip(rd.row(row)) {
+            assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+}
+
+#[test]
+fn conv_correct_on_all_layers() {
+    let cfg = CapstanConfig::paper_default();
+    for ds in [
+        Dataset::ResNet50L1,
+        Dataset::ResNet50L2,
+        Dataset::ResNet50L29,
+    ] {
+        let app = SparseConv::from_dataset(ds, 0.08);
+        let (_, out) = app.record(&cfg);
+        assert!(rel_l2_error(&out, &app.reference()) < TOL, "{ds:?}");
+    }
+}
+
+#[test]
+fn bicgstab_converges_and_matches() {
+    let cfg = CapstanConfig::paper_default();
+    let mut solver = BiCgStab::new(&Dataset::Trefethen20000.generate_scaled(0.03));
+    solver.iterations = 12;
+    let (wl, result) = solver.record(&cfg);
+    let reference = solver.reference();
+    assert_eq!(result.residuals.len(), reference.residuals.len());
+    assert!(result.residuals.last().unwrap() < result.residuals.first().unwrap());
+    assert_eq!(wl.dependent_rounds, 12);
+}

@@ -1,0 +1,125 @@
+//! Integration tests pinning the extension studies (DESIGN.md §6): the
+//! applications the paper motivates but does not evaluate — GNNs (§5),
+//! Krylov solvers (§1), and block-sparse formats (§2.1).
+
+use capstan::apps::cg::ConjugateGradient;
+use capstan::apps::gnn::{GcnLayer, Spmm};
+use capstan::apps::pagerank::PrPull;
+use capstan::apps::spmv::{BcsrSpmv, CsrSpmv};
+use capstan::apps::App;
+use capstan::arch::spmu::driver::{run_vectors, TraceRng};
+use capstan::arch::spmu::{AccessVector, LaneRequest, SpmuConfig};
+use capstan::core::config::{CapstanConfig, MemoryKind};
+use capstan::core::program::Workload;
+use capstan::tensor::dense::DenseMatrix;
+use capstan::tensor::gen;
+
+fn occupancy(wl: &Workload) -> f64 {
+    let work: u64 = wl.tiles.iter().map(|t| t.lane_work).sum();
+    let slots: u64 = wl.tiles.iter().map(|t| t.vectors).sum::<u64>() * 16;
+    work as f64 / slots.max(1) as f64
+}
+
+/// The GNN claim: mapping the feature dimension onto the vector lanes
+/// hides the power-law degree skew that starves PR-Pull (paper Fig. 7).
+#[test]
+fn spmm_occupancy_beats_pr_pull_on_power_law() {
+    let graph = gen::power_law(3000, 24_000, 2.1, 17);
+    let cfg = CapstanConfig::paper_default();
+    let b = DenseMatrix::from_fn(graph.cols(), 32, |r, c| ((r + c) % 3) as f32 - 1.0);
+    let spmm_occ = occupancy(&Spmm::new(&graph, b).build(&cfg));
+    let pr_occ = occupancy(&PrPull::new(&graph).build(&cfg));
+    assert!(spmm_occ > 0.95, "SpMM occupancy {spmm_occ:.3}");
+    assert!(
+        pr_occ < 0.75,
+        "PR-Pull occupancy {pr_occ:.3} should show degree starvation"
+    );
+    assert!(spmm_occ > pr_occ * 1.3);
+}
+
+/// Kernel fusion (paper §4.4, extended to GCN and CG): the fused
+/// pipeline never loses, and wins clearly where bandwidth is scarce.
+#[test]
+fn fusion_wins_on_ddr4() {
+    let ddr = CapstanConfig::new(MemoryKind::Ddr4);
+
+    let graph = gen::power_law(2000, 16_000, 2.1, 23);
+    let layer = GcnLayer::with_synthetic(&graph, 32, 32);
+    let fused = capstan::core::perf::simulate(&layer.record(&ddr).0, &ddr).cycles;
+    let unfused = capstan::core::perf::simulate(&layer.record_unfused(&ddr).0, &ddr).cycles;
+    assert!(fused <= unfused, "GCN fused {fused} vs unfused {unfused}");
+
+    let system = gen::multi_diagonal(4000, 28_000);
+    let mut cg = ConjugateGradient::new(&system);
+    cg.iterations = 6;
+    let fused = capstan::core::perf::simulate(&cg.record(&ddr).0, &ddr).cycles;
+    let unfused = capstan::core::perf::simulate(&cg.record_unfused(&ddr).0, &ddr).cycles;
+    assert!(
+        (fused as f64) < unfused as f64 * 0.9,
+        "CG fused {fused} should beat unfused {unfused} by >10% on DDR4"
+    );
+}
+
+/// The block-format trade (paper §2.1): BCSR wins when blocks fill
+/// (clustered structure), CSR wins when they do not (scattered).
+#[test]
+fn bcsr_crossover_direction() {
+    let cfg = CapstanConfig::new(MemoryKind::Hbm2e);
+    let clustered = gen::banded(2048, 120_000, 11);
+    let bcsr = BcsrSpmv::new(&clustered, 16);
+    let csr = CsrSpmv::new(&clustered);
+    assert!(
+        bcsr.simulate(&cfg).cycles < csr.simulate(&cfg).cycles,
+        "clustered: BCSR wins"
+    );
+
+    let scattered = gen::uniform(2048, 2048, 8192, 13);
+    let bcsr = BcsrSpmv::new(&scattered, 16);
+    let csr = CsrSpmv::new(&scattered);
+    assert!(
+        bcsr.simulate(&cfg).cycles > csr.simulate(&cfg).cycles,
+        "scattered: CSR wins"
+    );
+}
+
+/// Repeated-read elision (paper §3.1.2): a hot-set trace gets faster with
+/// elision on; a uniform trace is unharmed.
+#[test]
+fn elision_helps_skewed_traces_only() {
+    let base = SpmuConfig::default();
+    let make_trace = |hot_permille: u64| -> Vec<AccessVector> {
+        let mut rng = TraceRng::new(0xE11);
+        let span = base.capacity_words() as u64;
+        (0..1500)
+            .map(|_| AccessVector {
+                lanes: (0..base.lanes)
+                    .map(|_| {
+                        let addr = if rng.below(1000) < hot_permille {
+                            rng.below(8) as u32
+                        } else {
+                            rng.below(span) as u32
+                        };
+                        Some(LaneRequest::read(addr))
+                    })
+                    .collect(),
+            })
+            .collect()
+    };
+    let cycles = |elide: bool, trace: &[AccessVector]| {
+        let mut cfg = base;
+        cfg.elide_repeated_reads = elide;
+        run_vectors(cfg, trace).cycles
+    };
+    let skewed = make_trace(500);
+    assert!(
+        (cycles(true, &skewed) as f64) < cycles(false, &skewed) as f64 * 0.9,
+        "elision should cut >10% of cycles on a 50%-hot trace"
+    );
+    let uniform = make_trace(0);
+    let on = cycles(true, &uniform);
+    let off = cycles(false, &uniform);
+    assert!(
+        on as f64 <= off as f64 * 1.02,
+        "elision must not hurt uniform traces: {on} vs {off}"
+    );
+}

@@ -1,0 +1,234 @@
+//! Failure-injection and degenerate-input tests: malformed external data
+//! must surface as errors (never panics), and pathological-but-valid
+//! inputs must flow through the entire simulation stack.
+
+use capstan::apps::bfs::Bfs;
+use capstan::apps::mpm::MatrixAdd;
+use capstan::apps::pagerank::{PrEdge, PrPull};
+use capstan::apps::spmspm::SpMSpM;
+use capstan::apps::spmv::{BcsrSpmv, CooSpmv, CscSpmv, CsrSpmv};
+use capstan::apps::sssp::Sssp;
+use capstan::apps::App;
+use capstan::arch::spmu::{BankHash, OrderingMode};
+use capstan::core::config::{CapstanConfig, MemoryKind};
+use capstan::tensor::error::FormatError;
+use capstan::tensor::{mm, Coo, Csr};
+
+// --- Malformed external data -------------------------------------------------
+
+fn parse(text: &str) -> Result<Coo, FormatError> {
+    mm::read(text.as_bytes())
+}
+
+#[test]
+fn mm_rejects_truncated_header() {
+    let err = parse("%%MatrixMarket matrix\n2 2 1\n1 1 3.0\n").unwrap_err();
+    assert!(matches!(err, FormatError::Parse { line: 1, .. }), "{err}");
+}
+
+#[test]
+fn mm_rejects_missing_size_line() {
+    let err = parse("%%MatrixMarket matrix coordinate real general\n").unwrap_err();
+    assert!(matches!(err, FormatError::Parse { .. }), "{err}");
+}
+
+#[test]
+fn mm_rejects_non_numeric_entry() {
+    let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 banana 3.0\n";
+    let err = parse(text).unwrap_err();
+    assert!(matches!(err, FormatError::Parse { line: 3, .. }), "{err}");
+}
+
+#[test]
+fn mm_rejects_truncated_entry_list() {
+    let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+    let err = parse(text).unwrap_err();
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+}
+
+#[test]
+fn mm_rejects_out_of_bounds_coordinates() {
+    let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n";
+    assert!(parse(text).is_err());
+}
+
+#[test]
+fn mm_rejects_zero_based_coordinates() {
+    // Matrix Market is 1-based; a 0 coordinate is malformed.
+    let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+    assert!(parse(text).is_err());
+}
+
+#[test]
+fn mm_accepts_exponent_notation_and_crlf() {
+    let text =
+        "%%MatrixMarket matrix coordinate real general\r\n2 2 2\r\n1 1 1e-3\r\n2 2 -2.5E+1\r\n";
+    let m = parse(text).expect("valid CRLF file");
+    assert_eq!(m.nnz(), 2);
+}
+
+#[test]
+fn triplets_out_of_bounds_is_an_error_not_a_panic() {
+    let err = Coo::from_triplets(4, 4, vec![(4, 0, 1.0)]).unwrap_err();
+    assert!(matches!(
+        err,
+        FormatError::IndexOutOfBounds {
+            axis: 0,
+            index: 4,
+            extent: 4
+        }
+    ));
+    let err = Coo::from_triplets(4, 4, vec![(0, 9, 1.0)]).unwrap_err();
+    assert!(matches!(err, FormatError::IndexOutOfBounds { axis: 1, .. }));
+}
+
+#[test]
+fn csr_from_raw_rejects_corrupted_pointers() {
+    // Non-monotone row_ptr.
+    assert!(Csr::from_raw(2, 2, vec![0, 2, 1], vec![0], vec![1.0]).is_err());
+    // row_ptr does not start at zero.
+    assert!(Csr::from_raw(2, 2, vec![1, 1, 1], vec![], vec![]).is_err());
+    // nnz mismatch between row_ptr and col_idx.
+    assert!(Csr::from_raw(2, 2, vec![0, 1, 3], vec![0, 1], vec![1.0, 2.0]).is_err());
+    // Values length mismatch.
+    assert!(Csr::from_raw(1, 2, vec![0, 2], vec![0, 1], vec![1.0]).is_err());
+    // Duplicate column within a row.
+    assert!(Csr::from_raw(1, 4, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+    // Column index beyond extent.
+    assert!(Csr::from_raw(1, 2, vec![0, 1], vec![7], vec![1.0]).is_err());
+}
+
+// --- Degenerate-but-valid inputs through the full stack -----------------------
+
+fn simulate_all(m: &Coo, cfg: &CapstanConfig) {
+    for app in [
+        &CsrSpmv::new(m) as &dyn App,
+        &CooSpmv::new(m),
+        &CscSpmv::new(m),
+        &BcsrSpmv::new(m, 16),
+    ] {
+        let report = app.simulate(cfg);
+        assert!(report.cycles >= 1, "{} produced zero cycles", app.name());
+        assert!(report.sram_bank_utilization <= 1.0 + 1e-9);
+        assert!(report.lane_efficiency <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn one_by_one_matrix() {
+    let m = Coo::from_triplets(1, 1, vec![(0, 0, 2.5)]).unwrap();
+    simulate_all(&m, &CapstanConfig::paper_default());
+}
+
+#[test]
+fn single_row_and_single_column_matrices() {
+    let cfg = CapstanConfig::paper_default();
+    let row = Coo::from_triplets(1, 64, (0..64).map(|c| (0, c, 1.0)).collect()).unwrap();
+    simulate_all(&row, &cfg);
+    let col = Coo::from_triplets(64, 1, (0..64).map(|r| (r, 0, 1.0)).collect()).unwrap();
+    simulate_all(&col, &cfg);
+}
+
+#[test]
+fn graph_of_isolated_nodes() {
+    // No edges at all: BFS/SSSP frontiers die immediately, PR has no
+    // in-edges anywhere; everything must still terminate.
+    let g = Coo::zeros(128, 128);
+    let cfg = CapstanConfig::paper_default();
+    for app in [
+        &Bfs::new(&g) as &dyn App,
+        &Sssp::new(&g),
+        &PrPull::new(&g),
+        &PrEdge::new(&g),
+    ] {
+        let report = app.simulate(&cfg);
+        assert!(report.cycles >= 1, "{}", app.name());
+    }
+}
+
+#[test]
+fn graph_of_self_loops_only() {
+    let g = Coo::from_triplets(64, 64, (0..64).map(|i| (i, i, 1.0)).collect()).unwrap();
+    let cfg = CapstanConfig::paper_default();
+    for app in [&Bfs::new(&g) as &dyn App, &Sssp::new(&g), &PrPull::new(&g)] {
+        let report = app.simulate(&cfg);
+        assert!(report.cycles >= 1, "{}", app.name());
+    }
+}
+
+#[test]
+fn spmspm_with_disjoint_supports_yields_empty_product() {
+    // A has only the left column block, B has only the bottom rows that A
+    // never references: C = A*B is structurally empty.
+    let a = Coo::from_triplets(32, 32, (0..32).map(|i| (i, 0, 1.0)).collect()).unwrap();
+    let b = Coo::from_triplets(32, 32, (1..32).map(|i| (i, i, 1.0)).collect()).unwrap();
+    let app = SpMSpM::new(&a, &b);
+    let report = app.simulate(&CapstanConfig::paper_default());
+    assert!(report.cycles >= 1);
+    let product = app.reference();
+    assert_eq!(product.nnz(), 0, "disjoint supports must produce no output");
+}
+
+#[test]
+fn matrix_add_of_identical_and_disjoint_operands() {
+    let cfg = CapstanConfig::paper_default();
+    let m = capstan::tensor::gen::circuit(256, 1400, 3);
+    // Identical: intersection is everything, union equals either operand.
+    let same = MatrixAdd::new(&m, &m);
+    assert!(same.simulate(&cfg).cycles >= 1);
+    let sum = same.reference();
+    assert_eq!(sum.nnz(), m.nnz());
+    // Shifted: mostly disjoint supports exercise the union-with-misses
+    // path (-1 indices from the scanner in union mode).
+    let shifted = MatrixAdd::self_shifted(&m);
+    assert!(shifted.simulate(&cfg).cycles >= 1);
+}
+
+// --- Extreme configurations ---------------------------------------------------
+
+#[test]
+fn harshest_config_still_completes() {
+    // Everything that can be restricted, restricted at once: 1-deep
+    // queue, single allocation iteration and priority, linear banking,
+    // full ordering, no compression, serial outer loop.
+    let mut cfg = CapstanConfig::new(MemoryKind::Ddr4);
+    cfg.spmu.queue_depth = 1;
+    cfg.spmu.alloc_iterations = 1;
+    cfg.spmu.priorities = 1;
+    cfg.spmu.hash = BankHash::Linear;
+    cfg.spmu.ordering = OrderingMode::FullyOrdered;
+    cfg.compression = false;
+    cfg.outer_par = 1;
+    let m = capstan::tensor::gen::circuit(512, 3000, 9);
+    simulate_all(&m, &cfg);
+    // And the restricted config can only be slower than the default.
+    let restricted = CsrSpmv::new(&m).simulate(&cfg).cycles;
+    let default = CsrSpmv::new(&m)
+        .simulate(&CapstanConfig::new(MemoryKind::Ddr4))
+        .cycles;
+    assert!(
+        restricted >= default,
+        "restricted {restricted} vs default {default}"
+    );
+}
+
+#[test]
+fn breakdown_always_accounts_every_cycle() {
+    // Stall attribution must sum to the total for both easy and harsh
+    // configurations.
+    let m = capstan::tensor::gen::power_law(1500, 12_000, 2.1, 5);
+    for cfg in [
+        CapstanConfig::paper_default(),
+        CapstanConfig::ideal(),
+        CapstanConfig::new(MemoryKind::Ddr4),
+    ] {
+        let report = CooSpmv::new(&m).simulate(&cfg);
+        assert_eq!(
+            report.breakdown.total(),
+            report.cycles,
+            "breakdown must sum to cycles under {:?}",
+            cfg.memory
+        );
+    }
+}

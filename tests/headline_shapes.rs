@@ -1,0 +1,165 @@
+//! Integration tests pinning the paper's headline results ("shape"
+//! assertions from DESIGN.md §4): who wins, by roughly what factor, and
+//! where the crossovers fall.
+
+use capstan::apps::conv::SparseConv;
+use capstan::apps::mpm::MatrixAdd;
+use capstan::apps::spmv::{CooSpmv, CscSpmv, CsrSpmv};
+use capstan::apps::App;
+use capstan::arch::spmu::driver::measure_random_throughput;
+use capstan::arch::spmu::{BankHash, OrderingMode, SpmuConfig};
+use capstan::baselines::plasticine;
+use capstan::core::config::{CapstanConfig, MemoryKind};
+use capstan::tensor::gen::Dataset;
+
+/// Paper §1/§3.1: the allocated SpMU raises random SRAM throughput from
+/// ~32% (arbitrated) to ~80%.
+#[test]
+fn spmu_random_throughput_headline() {
+    let unordered = measure_random_throughput(SpmuConfig::default(), 42, 1000, 4000);
+    let arb_cfg = SpmuConfig {
+        ordering: OrderingMode::Arbitrated,
+        ..Default::default()
+    };
+    let arbitrated = measure_random_throughput(arb_cfg, 42, 1000, 4000);
+    assert!(
+        (unordered.bank_utilization - 0.80).abs() < 0.06,
+        "unordered {:.3} should be ~0.80",
+        unordered.bank_utilization
+    );
+    assert!(
+        (arbitrated.bank_utilization - 0.32).abs() < 0.05,
+        "arbitrated {:.3} should be ~0.32",
+        arbitrated.bank_utilization
+    );
+    assert!(unordered.bank_utilization / arbitrated.bank_utilization > 2.0);
+}
+
+/// Paper Table 4: deeper queues and more priorities help monotonically.
+#[test]
+fn spmu_depth_and_priority_scaling() {
+    let util = |depth: usize, pri: usize| {
+        let cfg = SpmuConfig {
+            queue_depth: depth,
+            priorities: pri,
+            ..Default::default()
+        };
+        measure_random_throughput(cfg, 7, 500, 2500).bank_utilization
+    };
+    let d8 = util(8, 3);
+    let d16 = util(16, 3);
+    let d32 = util(32, 3);
+    assert!(
+        d8 < d16 && d16 < d32,
+        "depth scaling broken: {d8:.3} {d16:.3} {d32:.3}"
+    );
+    let p1 = util(16, 1);
+    let p2 = util(16, 2);
+    assert!(p1 < p2, "priorities should help: {p1:.3} vs {p2:.3}");
+}
+
+/// Paper Table 9 / §3.1: address hashing removes the strided-access
+/// pathology that cripples linear banking on Conv.
+#[test]
+fn hashing_fixes_conv_strides() {
+    let app = SparseConv::from_dataset(Dataset::ResNet50L2, 0.2);
+    let hashed = app.simulate(&CapstanConfig::paper_default());
+    let mut linear_cfg = CapstanConfig::paper_default();
+    linear_cfg.spmu.hash = BankHash::Linear;
+    let linear = app.simulate(&linear_cfg);
+    let slowdown = linear.cycles as f64 / hashed.cycles as f64;
+    assert!(
+        slowdown > 1.05,
+        "linear banking slowdown only {slowdown:.2}x on Conv"
+    );
+}
+
+/// Paper Table 12: Capstan beats Plasticine on every mapped sparse app,
+/// with the biggest factors on the memory-modifying formats.
+#[test]
+fn capstan_vs_plasticine_ordering() {
+    let m = Dataset::Ckt11752.generate_scaled(0.03);
+    let hbm = CapstanConfig::new(MemoryKind::Hbm2e);
+    let pl = plasticine::config(MemoryKind::Hbm2e);
+    let ratio = |app: &dyn App| app.simulate(&pl).cycles as f64 / app.simulate(&hbm).cycles as f64;
+    let csr = ratio(&CsrSpmv::new(&m));
+    let coo = ratio(&CooSpmv::new(&m));
+    let csc = ratio(&CscSpmv::new(&m));
+    assert!(csr > 1.5, "CSR {csr:.1}x");
+    assert!(coo > 10.0, "COO {coo:.1}x");
+    assert!(csc > 10.0, "CSC {csc:.1}x");
+    // Updates hurt more than reads (paper: 17x vs 184x/365x).
+    assert!(coo > csr && csc > csr);
+}
+
+/// Paper Table 12 / Fig. 5a: memory-bound apps track the DDR4/HBM2E
+/// bandwidth gap.
+#[test]
+fn bandwidth_bound_apps_scale_with_memory() {
+    let m = Dataset::Trefethen20000.generate_scaled(0.05);
+    let app = CsrSpmv::new(&m);
+    let hbm = app.simulate(&CapstanConfig::new(MemoryKind::Hbm2e));
+    let ddr = app.simulate(&CapstanConfig::new(MemoryKind::Ddr4));
+    let ratio = ddr.cycles as f64 / hbm.cycles as f64;
+    // The full bandwidth gap is 26.5x; SpMV should realize a large part.
+    assert!(ratio > 4.0 && ratio < 30.0, "DDR4/HBM2E ratio {ratio:.1}");
+    let hbm2 = app.simulate(&CapstanConfig::new(MemoryKind::Hbm2));
+    assert!(hbm2.cycles >= hbm.cycles && hbm2.cycles <= ddr.cycles);
+}
+
+/// Paper Fig. 6a: scalar (1-bit) scanning is catastrophic for M+M; the
+/// 256-bit design point is within ~25% of the maximal 512-bit scanner.
+#[test]
+fn scanner_width_headline() {
+    let app = MatrixAdd::self_shifted(&Dataset::Ckt11752.generate_scaled(0.03));
+    let cycles_at = |width: usize| {
+        let mut cfg = CapstanConfig::paper_default();
+        cfg.scanner = capstan::arch::scanner::BitVecScanner::new(width, 16.min(width));
+        app.simulate(&cfg).cycles as f64
+    };
+    let maximal = cycles_at(512);
+    let chosen = cycles_at(256);
+    let scalar = cycles_at(1);
+    assert!(
+        scalar / maximal > 2.0,
+        "scalar scan only {:.2}x slower",
+        scalar / maximal
+    );
+    assert!(
+        chosen / maximal < 1.35,
+        "256-bit scan {:.2}x off maximal",
+        chosen / maximal
+    );
+}
+
+/// Paper §4.2 / Table 8: +16% area, +12% power, with linear scaling of
+/// the overhead under partial sparse provisioning.
+#[test]
+fn area_power_headline() {
+    use capstan::arch::area::{chip_report, ChipConfig};
+    let capstan = chip_report(ChipConfig::default());
+    let plasticine = chip_report(ChipConfig {
+        sparse_fraction: 0.0,
+        ..Default::default()
+    });
+    assert!((capstan.total / plasticine.total - 1.16).abs() < 0.02);
+    assert!((capstan.power_w / plasticine.power_w - 1.12).abs() < 0.02);
+}
+
+/// Paper Table 10: ordering restrictions cost performance in order
+/// unordered <= address-ordered <= fully-ordered (on update-heavy apps).
+#[test]
+fn ordering_mode_cost_direction() {
+    let m = Dataset::Ckt11752.generate_scaled(0.03);
+    let app = CooSpmv::new(&m);
+    let cycles = |mode: OrderingMode| {
+        let mut cfg = CapstanConfig::paper_default();
+        cfg.spmu.ordering = mode;
+        app.simulate(&cfg).cycles
+    };
+    let unordered = cycles(OrderingMode::Unordered);
+    let addr = cycles(OrderingMode::AddressOrdered);
+    let full = cycles(OrderingMode::FullyOrdered);
+    assert!(unordered <= addr, "unordered {unordered} vs addr {addr}");
+    assert!(unordered < full, "unordered {unordered} vs full {full}");
+}

@@ -1,0 +1,120 @@
+//! Sanity properties of the performance model: breakdown consistency,
+//! bandwidth monotonicity, configuration dominance, and determinism.
+
+use capstan::apps::cg::ConjugateGradient;
+use capstan::apps::gnn::{GcnLayer, Spmm};
+use capstan::apps::pagerank::PrPull;
+use capstan::apps::spmv::{BcsrSpmv, CooSpmv, CsrSpmv, DcsrSpmv};
+use capstan::apps::App;
+use capstan::core::config::{CapstanConfig, MemoryKind};
+use capstan::tensor::gen::Dataset;
+use capstan::tensor::DenseMatrix;
+
+fn apps() -> Vec<Box<dyn App>> {
+    let la = Dataset::Ckt11752.generate_scaled(0.02);
+    let g = Dataset::WebStanford.generate_scaled(0.008);
+    let features = DenseMatrix::from_fn(g.cols(), 16, |r, c| ((r + c) % 3) as f32);
+    let mut cg = ConjugateGradient::new(&capstan::tensor::gen::multi_diagonal(800, 5600));
+    cg.iterations = 4;
+    vec![
+        Box::new(CsrSpmv::new(&la)),
+        Box::new(CooSpmv::new(&la)),
+        Box::new(BcsrSpmv::new(&la, 16)),
+        Box::new(DcsrSpmv::new(&la)),
+        Box::new(PrPull::new(&g)),
+        Box::new(Spmm::new(&g, features)),
+        Box::new(GcnLayer::with_synthetic(&g, 16, 16)),
+        Box::new(cg),
+    ]
+}
+
+#[test]
+fn breakdown_always_sums_to_total() {
+    for app in apps() {
+        for mem in [
+            MemoryKind::Ddr4,
+            MemoryKind::Hbm2,
+            MemoryKind::Hbm2e,
+            MemoryKind::Ideal,
+        ] {
+            let report = app.simulate(&CapstanConfig::new(mem));
+            assert_eq!(
+                report.breakdown.total(),
+                report.cycles,
+                "{} on {:?}",
+                app.name(),
+                mem
+            );
+        }
+    }
+}
+
+#[test]
+fn bandwidth_is_monotone() {
+    for app in apps() {
+        let mut last = u64::MAX;
+        for bw in [20.0, 68.0, 200.0, 900.0, 1800.0, 5000.0] {
+            let report = app.simulate(&CapstanConfig::new(MemoryKind::Custom(bw)));
+            assert!(
+                report.cycles <= last,
+                "{}: {bw} GB/s took {} > previous {}",
+                app.name(),
+                report.cycles,
+                last
+            );
+            last = report.cycles;
+        }
+    }
+}
+
+#[test]
+fn ideal_dominates_every_real_configuration() {
+    for app in apps() {
+        let ideal = app.simulate(&CapstanConfig::ideal());
+        for mem in [MemoryKind::Ddr4, MemoryKind::Hbm2e] {
+            let real = app.simulate(&CapstanConfig::new(mem));
+            assert!(
+                ideal.cycles <= real.cycles,
+                "{}: ideal {} > {:?} {}",
+                app.name(),
+                ideal.cycles,
+                mem,
+                real.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    for app in apps() {
+        let cfg = CapstanConfig::paper_default();
+        let a = app.simulate(&cfg);
+        let b = app.simulate(&cfg);
+        assert_eq!(a.cycles, b.cycles, "{} not deterministic", app.name());
+        assert_eq!(a.breakdown, b.breakdown);
+    }
+}
+
+#[test]
+fn more_pipelines_never_slow_the_whole_chip() {
+    let la = Dataset::Trefethen20000.generate_scaled(0.05);
+    let app = CsrSpmv::new(&la);
+    let cycles = |par: usize| {
+        let mut cfg = CapstanConfig::ideal();
+        cfg.outer_par = par;
+        app.simulate(&cfg).cycles as f64
+    };
+    let small = cycles(4);
+    let big = cycles(64);
+    assert!(big < small, "64 pipelines ({big}) should beat 4 ({small})");
+}
+
+#[test]
+fn lane_efficiency_is_a_fraction() {
+    for app in apps() {
+        let report = app.simulate(&CapstanConfig::paper_default());
+        assert!(report.lane_efficiency >= 0.0 && report.lane_efficiency <= 1.0);
+        assert!(report.sram_bank_utilization >= 0.0 && report.sram_bank_utilization <= 1.0);
+    }
+}
