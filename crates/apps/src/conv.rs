@@ -212,7 +212,10 @@ mod tests {
 
     #[test]
     fn halo_updates_cross_tiles_for_3x3() {
-        let app = small();
+        // A slightly larger layer than `small()`: the remote fraction is
+        // perimeter/area, so tiny layers sit right at the 50% threshold
+        // and flip with the synthetic data stream.
+        let app = SparseConv::from_dataset(Dataset::ResNet50L2, 0.25);
         let cfg = CapstanConfig::paper_default();
         let wl = app.build(&cfg);
         let remote: u64 = wl.tiles.iter().map(|t| t.remote.total_entries).sum();

@@ -72,6 +72,9 @@ pub struct AddressGenerator {
     inflight: HashMap<u64, (u64, bool)>, // (burst, is_writeback)
     next_channel_tag: u64,
     results: Vec<DramAccessResult>,
+    /// Reusable copy of the channel's per-tick completions (lets the
+    /// completion handler mutate `self` without borrowing the channel).
+    completion_scratch: Vec<capstan_sim::dram::BurstCompletion>,
     bursts_fetched: u64,
     bursts_written: u64,
 }
@@ -89,6 +92,7 @@ impl AddressGenerator {
             inflight: HashMap::new(),
             next_channel_tag: 0,
             results: Vec::new(),
+            completion_scratch: Vec::new(),
             bursts_fetched: 0,
             bursts_written: 0,
         }
@@ -228,8 +232,10 @@ impl AddressGenerator {
             self.start_fetch(burst);
         }
 
-        let completions = self.channel.tick();
-        for c in completions {
+        let mut completions = std::mem::take(&mut self.completion_scratch);
+        completions.clear();
+        completions.extend_from_slice(self.channel.tick());
+        for c in &completions {
             let Some((burst, is_writeback)) = self.inflight.remove(&c.tag) else {
                 continue;
             };
@@ -251,6 +257,7 @@ impl AddressGenerator {
                 self.maybe_evict();
             }
         }
+        self.completion_scratch = completions;
 
         let now = self.channel.cycle();
         let (done, pending): (Vec<_>, Vec<_>) =

@@ -22,12 +22,26 @@
 pub type PortRequests = Vec<u64>;
 
 /// Result of one allocation cycle: the granted bank per port, if any.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AllocationResult {
     /// `grants[port] = Some(bank)`.
     pub grants: Vec<Option<usize>>,
     /// Grants added by each iteration (for allocator-quality studies).
     pub per_iteration: Vec<usize>,
+}
+
+/// Reusable working memory for [`allocate_into`] / [`maximal_matching_into`].
+///
+/// The SpMU calls the allocator every cycle; threading one `AllocScratch`
+/// through those calls keeps the hot loop allocation-free (the buffers
+/// grow to a high-water mark on the first cycles and are reused
+/// thereafter).
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    choices: Vec<Option<usize>>,
+    choosers: Vec<u64>,
+    bank_owner: Vec<Option<usize>>,
+    visited: Vec<bool>,
 }
 
 impl AllocationResult {
@@ -57,57 +71,115 @@ pub fn allocate(iterations: &[PortRequests], banks: usize) -> AllocationResult {
         iterations.iter().all(|m| m.len() == ports),
         "all iterations must present the same port count"
     );
+    let flat: Vec<u64> = iterations.iter().flat_map(|m| m.iter().copied()).collect();
+    let mut out = AllocationResult::default();
+    allocate_into(&flat, ports, banks, &mut AllocScratch::default(), &mut out);
+    out
+}
+
+/// Allocation-free variant of [`allocate`] for the per-cycle hot path.
+///
+/// `masks` holds the per-iteration port request masks flattened
+/// back-to-back (`masks[iter * ports + port]`); `out` is cleared and
+/// refilled, and `scratch` provides the working buffers. Behaviour is
+/// bit-identical to [`allocate`].
+///
+/// # Panics
+///
+/// Panics if `masks` is empty or not a multiple of `ports`.
+pub fn allocate_into(
+    masks: &[u64],
+    ports: usize,
+    banks: usize,
+    scratch: &mut AllocScratch,
+    out: &mut AllocationResult,
+) {
+    assert!(
+        !masks.is_empty() && ports > 0 && masks.len().is_multiple_of(ports),
+        "allocator needs at least one iteration of {ports} port masks"
+    );
     let bank_mask = if banks >= 64 {
         u64::MAX
     } else {
         (1u64 << banks) - 1
     };
 
-    let mut grants: Vec<Option<usize>> = vec![None; ports];
+    out.grants.clear();
+    out.grants.resize(ports, None);
+    out.per_iteration.clear();
     let mut granted_banks: u64 = 0;
-    let mut per_iteration = Vec::with_capacity(iterations.len());
+    // With <= 64 ports the stage-2 output arbiters run on chooser
+    // bitmasks (one find-first-set per bank) instead of scanning every
+    // port per bank; larger configurations fall back to the scalar scan.
+    let bitmask_ports = ports <= 64;
 
-    for masks in iterations {
+    for iter_masks in masks.chunks_exact(ports) {
         // Stage 1 (input arbiter): every ungranted port picks a requested
         // free bank. The arbiters are fixed-priority but *diagonally*
         // offset per port (port p scans from bank p mod b), the standard
         // trick that stops every port from piling onto bank 0.
-        let mut choices: Vec<Option<usize>> = vec![None; ports];
-        for (port, &mask) in masks.iter().enumerate() {
-            if grants[port].is_some() {
+        if bitmask_ports {
+            scratch.choosers.clear();
+            scratch.choosers.resize(banks, 0);
+        } else {
+            scratch.choices.clear();
+            scratch.choices.resize(ports, None);
+        }
+        for (port, &mask) in iter_masks.iter().enumerate() {
+            if out.grants[port].is_some() {
                 continue;
             }
             let available = mask & bank_mask & !granted_banks;
             if available != 0 {
                 let start = port % banks;
                 let rotated = available.rotate_right(start as u32);
-                let bank = (rotated.trailing_zeros() as usize + start) % 64;
-                choices[port] = Some(bank % banks.max(1));
+                let bank = ((rotated.trailing_zeros() as usize + start) % 64) % banks.max(1);
+                if bitmask_ports {
+                    scratch.choosers[bank] |= 1 << port;
+                } else {
+                    scratch.choices[port] = Some(bank);
+                }
             }
         }
         // Stage 2 (output arbiter): every bank accepts one choosing port,
-        // with a diagonal priority offset mirroring stage 1.
+        // with a diagonal priority offset mirroring stage 1. Stage 1
+        // only lets ungranted ports choose, and each port chooses one
+        // bank, so the first chooser (in diagonal order) always wins.
         let mut new_grants = 0;
         let mut taken: u64 = 0;
         for bank in 0..banks {
             let start = bank % ports.max(1);
-            for k in 0..ports {
-                let port = (start + k) % ports;
-                if choices[port] == Some(bank) && grants[port].is_none() && taken >> bank & 1 == 0 {
-                    taken |= 1 << bank;
-                    grants[port] = Some(bank);
-                    new_grants += 1;
-                    break;
+            if bitmask_ports {
+                let candidates = scratch.choosers[bank];
+                if candidates == 0 {
+                    continue;
+                }
+                let at_or_after = candidates & (u64::MAX << start);
+                let port = if at_or_after != 0 {
+                    at_or_after.trailing_zeros()
+                } else {
+                    candidates.trailing_zeros()
+                } as usize;
+                taken |= 1 << bank;
+                out.grants[port] = Some(bank);
+                new_grants += 1;
+            } else {
+                for k in 0..ports {
+                    let port = (start + k) % ports;
+                    if scratch.choices[port] == Some(bank)
+                        && out.grants[port].is_none()
+                        && taken >> bank & 1 == 0
+                    {
+                        taken |= 1 << bank;
+                        out.grants[port] = Some(bank);
+                        new_grants += 1;
+                        break;
+                    }
                 }
             }
         }
         granted_banks |= taken;
-        per_iteration.push(new_grants);
-    }
-
-    AllocationResult {
-        grants,
-        per_iteration,
+        out.per_iteration.push(new_grants);
     }
 }
 
@@ -118,13 +190,28 @@ pub fn allocate(iterations: &[PortRequests], banks: usize) -> AllocationResult {
 /// each lane requests exactly one bank, so any maximal matching serves
 /// every distinct requested bank once per cycle).
 pub fn maximal_matching(masks: &PortRequests, banks: usize) -> AllocationResult {
+    let mut out = AllocationResult::default();
+    maximal_matching_into(masks, banks, &mut AllocScratch::default(), &mut out);
+    out
+}
+
+/// Allocation-free variant of [`maximal_matching`] for the per-cycle hot
+/// path: `out` is cleared and refilled, `scratch` provides the working
+/// buffers. Behaviour is bit-identical to [`maximal_matching`].
+pub fn maximal_matching_into(
+    masks: &[u64],
+    banks: usize,
+    scratch: &mut AllocScratch,
+    out: &mut AllocationResult,
+) {
     let ports = masks.len();
     let bank_mask = if banks >= 64 {
         u64::MAX
     } else {
         (1u64 << banks) - 1
     };
-    let mut bank_owner: Vec<Option<usize>> = vec![None; banks];
+    scratch.bank_owner.clear();
+    scratch.bank_owner.resize(banks, None);
 
     fn try_augment(
         port: usize,
@@ -159,21 +246,27 @@ pub fn maximal_matching(masks: &PortRequests, banks: usize) -> AllocationResult 
 
     let mut matched = 0;
     for port in 0..ports {
-        let mut visited = vec![false; banks];
-        if try_augment(port, masks, bank_mask, &mut bank_owner, &mut visited) {
+        scratch.visited.clear();
+        scratch.visited.resize(banks, false);
+        if try_augment(
+            port,
+            masks,
+            bank_mask,
+            &mut scratch.bank_owner,
+            &mut scratch.visited,
+        ) {
             matched += 1;
         }
     }
-    let mut grants: Vec<Option<usize>> = vec![None; ports];
-    for (bank, owner) in bank_owner.iter().enumerate() {
+    out.grants.clear();
+    out.grants.resize(ports, None);
+    for (bank, owner) in scratch.bank_owner.iter().enumerate() {
         if let Some(port) = owner {
-            grants[*port] = Some(bank);
+            out.grants[*port] = Some(bank);
         }
     }
-    AllocationResult {
-        grants,
-        per_iteration: vec![matched],
-    }
+    out.per_iteration.clear();
+    out.per_iteration.push(matched);
 }
 
 #[cfg(test)]

@@ -59,13 +59,14 @@ impl ThroughputResult {
     }
 }
 
-fn random_vector(rng: &mut TraceRng, cfg: &SpmuConfig) -> AccessVector {
+/// Refills `vector` with one uniformly random read per lane, reusing its
+/// lane buffer (the trace loop allocates nothing in steady state).
+fn fill_random_vector(vector: &mut AccessVector, rng: &mut TraceRng, cfg: &SpmuConfig) {
     let span = cfg.capacity_words() as u64;
-    AccessVector {
-        lanes: (0..cfg.lanes)
-            .map(|_| Some(LaneRequest::read(rng.below(span) as u32)))
-            .collect(),
-    }
+    vector.lanes.clear();
+    vector
+        .lanes
+        .extend((0..cfg.lanes).map(|_| Some(LaneRequest::read(rng.below(span) as u32))));
 }
 
 /// Saturates an SpMU with uniformly random full read vectors and measures
@@ -78,28 +79,27 @@ pub fn measure_random_throughput(
 ) -> ThroughputResult {
     let mut spmu = Spmu::new(cfg);
     let mut rng = TraceRng::new(seed);
-    let mut pending: Option<AccessVector> = None;
+    let mut vector = AccessVector::default();
+    let mut pending = false;
     let mut total = warmup_cycles + measure_cycles;
     let mut measured_requests = 0u64;
     while total > 0 {
         total -= 1;
-        let v = pending
-            .take()
-            .unwrap_or_else(|| random_vector(&mut rng, &cfg));
-        if !spmu.try_enqueue(v.clone()) {
-            pending = Some(v);
+        if !pending {
+            fill_random_vector(&mut vector, &mut rng, &cfg);
         }
+        pending = !spmu.try_enqueue(&vector);
         let done = spmu.tick();
         if total < measure_cycles {
             measured_requests += done
-                .iter()
                 .map(|c| c.results.iter().flatten().count() as u64)
-                .sum::<u64>();
+                .unwrap_or(0);
         }
         if spmu.cycle() == warmup_cycles {
             spmu.reset_stats();
         }
     }
+    capstan_sim::stats::record_simulated_cycles(warmup_cycles + measure_cycles);
     ThroughputResult {
         bank_utilization: spmu.bank_utilization(),
         requests: measured_requests,
@@ -118,28 +118,28 @@ pub fn measure_random_throughput(
 pub fn run_vectors(cfg: SpmuConfig, vectors: &[AccessVector]) -> ThroughputResult {
     let mut spmu = Spmu::new(cfg);
     let mut iter = vectors.iter();
-    let mut pending: Option<AccessVector> = None;
+    let mut pending: Option<&AccessVector> = None;
     let mut requests = 0u64;
     let budget = 1_000 + vectors.len() as u64 * 64 * (cfg.pipeline_latency + 4);
     let mut exhausted = false;
     for _ in 0..budget {
         if pending.is_none() {
-            pending = iter.next().cloned();
+            pending = iter.next();
             if pending.is_none() {
                 exhausted = true;
             }
         }
         if let Some(v) = pending.take() {
-            if !spmu.try_enqueue(v.clone()) {
+            if !spmu.try_enqueue(v) {
                 pending = Some(v);
             }
         }
         let done = spmu.tick();
         requests += done
-            .iter()
             .map(|c| c.results.iter().flatten().count() as u64)
-            .sum::<u64>();
+            .unwrap_or(0);
         if exhausted && pending.is_none() && spmu.is_idle() {
+            capstan_sim::stats::record_simulated_cycles(spmu.cycle());
             return ThroughputResult {
                 bank_utilization: spmu.bank_utilization(),
                 requests,
@@ -173,20 +173,18 @@ pub fn trace_one_vector(cfg: SpmuConfig, seed: u64, traced_index: u64) -> Traced
     let mut spmu = Spmu::new(cfg);
     spmu.enable_grant_log();
     let mut rng = TraceRng::new(seed);
-    let mut pending: Option<AccessVector> = None;
-    let mut enqueued = 0u64;
+    let mut vector = AccessVector::default();
+    let mut pending = false;
     // Run long enough for the traced vector to enter and fully drain.
     let horizon = 4 * (traced_index + 4 * cfg.queue_depth as u64 + 64);
     for _ in 0..horizon {
-        let v = pending.take().unwrap_or_else(|| {
-            enqueued += 1;
-            random_vector(&mut rng, &cfg)
-        });
-        if !spmu.try_enqueue(v.clone()) {
-            pending = Some(v);
+        if !pending {
+            fill_random_vector(&mut vector, &mut rng, &cfg);
         }
+        pending = !spmu.try_enqueue(&vector);
         spmu.tick();
     }
+    capstan_sim::stats::record_simulated_cycles(horizon);
     let log = spmu.grant_log().expect("log enabled").to_vec();
     let traced_id = traced_index;
     let window: Vec<&GrantRecord> = log.iter().filter(|g| g.vector_id == traced_id).collect();

@@ -94,7 +94,7 @@ impl AccessVector {
 }
 
 /// A completed vector with per-lane results, in enqueue order.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CompletedVector {
     /// Sequence number assigned at enqueue.
     pub id: u64,
@@ -215,16 +215,58 @@ enum LaneState {
 struct QueueEntry {
     id: u64,
     lanes: Vec<LaneState>,
+    /// Bit per lane still in [`LaneState::Pending`]. Maintained so the
+    /// per-tick sweeps (mask build, completion, oldest-pending search)
+    /// can skip settled lanes without touching the lane array.
+    pending: u64,
+    /// Bit per lane currently in [`LaneState::Issued`].
+    issued: u64,
+}
+
+/// Reusable per-cycle working memory for [`Spmu::tick`].
+///
+/// Every buffer the naive tick loop used to allocate fresh each cycle
+/// lives here instead and is cleared (not freed) between cycles, so a
+/// warmed-up SpMU performs **zero heap allocations in steady state** —
+/// the property `crates/arch/tests/alloc_free.rs` asserts with a
+/// counting global allocator. Buffers grow to a high-water mark during
+/// the first cycles and stay there.
+#[derive(Debug, Clone, Default)]
+struct TickScratch {
+    /// Addresses whose pipelines retired this cycle (Bloom removal).
+    finished_addrs: Vec<u32>,
+    /// Flattened per-iteration allocator request masks
+    /// (`masks[iter * ports + port]`).
+    masks: Vec<u64>,
+    /// `(lane, entry id)` pairs already granted this cycle.
+    used: Vec<(usize, u64)>,
+    /// Fully-ordered mode: the distinct-bank prefix to issue.
+    to_issue: Vec<(usize, LaneRequest, usize)>,
+    /// First reader lane per address, for repeated-read elision.
+    seen_reads: Vec<(u32, usize)>,
+    /// Per-lane requested-bank accumulator for the incremental mask build.
+    lane_masks: Vec<u64>,
+    /// Effective (queue-clamped) window per allocator iteration.
+    windows: Vec<usize>,
+    /// Reusable allocator output.
+    alloc_result: alloc::AllocationResult,
+    /// Reusable allocator working memory.
+    alloc_scratch: alloc::AllocScratch,
 }
 
 impl QueueEntry {
     fn is_complete(&self) -> bool {
-        self.lanes.iter().all(|l| {
-            matches!(
-                l,
-                LaneState::Empty | LaneState::Done { .. } | LaneState::DuplicateOf(_)
-            )
-        })
+        debug_assert_eq!(
+            self.pending == 0 && self.issued == 0,
+            self.lanes.iter().all(|l| {
+                matches!(
+                    l,
+                    LaneState::Empty | LaneState::Done { .. } | LaneState::DuplicateOf(_)
+                )
+            }),
+            "lane bitmasks out of sync with lane states"
+        );
+        self.pending == 0 && self.issued == 0
     }
 }
 
@@ -245,11 +287,24 @@ pub struct Spmu {
     bloom_stalls: Counter,
     elided_reads: Counter,
     grant_log: Option<Vec<GrantRecord>>,
+    scratch: TickScratch,
+    /// Recycled `QueueEntry::lanes` buffers (popped entries return here).
+    lane_pool: Vec<Vec<LaneState>>,
+    /// Recycled staging slots (admitted vectors return here).
+    staging_pool: Vec<AccessVector>,
+    /// The (at most one) vector completed this cycle, reused across ticks.
+    completed: CompletedVector,
 }
 
 impl Spmu {
     /// Creates an SpMU with zeroed memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has more than 64 lanes (lane sets are
+    /// tracked as `u64` bitmasks).
     pub fn new(cfg: SpmuConfig) -> Self {
+        assert!(cfg.lanes <= 64, "SpMU supports at most 64 lanes");
         Spmu {
             mem: vec![0.0; cfg.capacity_words()],
             queue: BoundedQueue::new(cfg.queue_depth),
@@ -264,6 +319,10 @@ impl Spmu {
             bloom_stalls: Counter::new(),
             elided_reads: Counter::new(),
             grant_log: None,
+            scratch: TickScratch::default(),
+            lane_pool: Vec::new(),
+            staging_pool: Vec::new(),
+            completed: CompletedVector::default(),
             cfg,
         }
     }
@@ -353,7 +412,11 @@ impl Spmu {
     /// Attempts to accept a vector this cycle. Returns `false` (the caller
     /// should retry next cycle) when the input stage is still draining
     /// earlier work.
-    pub fn try_enqueue(&mut self, vector: AccessVector) -> bool {
+    ///
+    /// The vector is *borrowed*: its lanes are copied into a recycled
+    /// staging slot, so a driver can refill one `AccessVector` buffer
+    /// forever without allocating.
+    pub fn try_enqueue(&mut self, vector: &AccessVector) -> bool {
         if !self.staging.is_empty() {
             self.enqueue_stalls.incr();
             return false;
@@ -365,15 +428,53 @@ impl Spmu {
             self.cfg.lanes
         );
         if self.cfg.ordering == OrderingMode::AddressOrdered {
-            let parts = split_same_address(&vector);
-            if parts.len() > 1 {
-                self.splits.add(parts.len() as u64 - 1);
-            }
-            self.staging.extend(parts);
+            self.split_into_staging(vector);
         } else {
-            self.staging.push_back(vector);
+            let mut slot = self.staging_pool.pop().unwrap_or_default();
+            slot.lanes.clear();
+            slot.lanes.extend_from_slice(&vector.lanes);
+            self.staging.push_back(slot);
         }
         true
+    }
+
+    /// In-place equivalent of [`split_same_address`]: splits `vector` so
+    /// no two lanes in one part share an address, writing the parts
+    /// directly into recycled staging slots.
+    fn split_into_staging(&mut self, vector: &AccessVector) {
+        let base = self.staging.len();
+        let width = vector.lanes.len();
+        for (i, lane) in vector.lanes.iter().enumerate() {
+            let Some(req) = lane else { continue };
+            // Find the first part not already holding this address.
+            let slot = (base..self.staging.len()).find(|&p| {
+                self.staging[p]
+                    .lanes
+                    .iter()
+                    .flatten()
+                    .all(|r| r.addr != req.addr)
+            });
+            match slot {
+                Some(p) => self.staging[p].lanes[i] = Some(*req),
+                None => {
+                    let mut part = self.staging_pool.pop().unwrap_or_default();
+                    part.lanes.clear();
+                    part.lanes.resize(width, None);
+                    part.lanes[i] = Some(*req);
+                    self.staging.push_back(part);
+                }
+            }
+        }
+        if self.staging.len() == base {
+            let mut part = self.staging_pool.pop().unwrap_or_default();
+            part.lanes.clear();
+            part.lanes.resize(width, None);
+            self.staging.push_back(part);
+        }
+        let parts = self.staging.len() - base;
+        if parts > 1 {
+            self.splits.add(parts as u64 - 1);
+        }
     }
 
     /// Whether all queues are empty (safe to stop ticking).
@@ -381,9 +482,13 @@ impl Spmu {
         self.queue.is_empty() && self.staging.is_empty()
     }
 
-    /// Advances one cycle; returns vectors completed this cycle (at most
-    /// one — dequeue is in program order at vector rate).
-    pub fn tick(&mut self) -> Vec<CompletedVector> {
+    /// Advances one cycle; returns the vector completed this cycle, if
+    /// any (at most one — dequeue is in program order at vector rate).
+    ///
+    /// The returned reference points into a buffer reused on the next
+    /// call; callers that need to keep a completion must clone it. This
+    /// is what keeps the steady-state tick loop allocation-free.
+    pub fn tick(&mut self) -> Option<&CompletedVector> {
         self.cycle += 1;
 
         // ➋ Issue: compute this cycle's crossbar configuration.
@@ -399,31 +504,38 @@ impl Spmu {
         self.bank_util.record(granted as u64, self.cfg.banks as u64);
 
         // ➌➍ Completion: retire issued requests whose pipeline finished.
-        let mut finished_addrs: Vec<u32> = Vec::new();
+        let track_addrs = self.cfg.ordering == OrderingMode::AddressOrdered;
+        let mut finished_addrs = std::mem::take(&mut self.scratch.finished_addrs);
+        finished_addrs.clear();
         for qi in 0..self.queue.len() {
             let entry = self.queue.get_mut(qi).expect("index in range");
-            for lane in &mut entry.lanes {
+            let mut issued = entry.issued;
+            while issued != 0 {
+                let lane = issued.trailing_zeros() as usize;
+                issued &= issued - 1;
                 if let LaneState::Issued {
                     finish_at,
                     result,
                     addr,
-                } = *lane
+                } = entry.lanes[lane]
                 {
                     if finish_at <= self.cycle {
-                        *lane = LaneState::Done { result, addr };
-                        finished_addrs.push(addr);
+                        entry.lanes[lane] = LaneState::Done { result, addr };
+                        entry.issued &= !(1 << lane);
+                        if track_addrs {
+                            finished_addrs.push(addr);
+                        }
                     }
                 }
             }
         }
-        if self.cfg.ordering == OrderingMode::AddressOrdered {
-            for addr in finished_addrs {
-                self.bloom.remove(addr);
-            }
+        for &addr in &finished_addrs {
+            self.bloom.remove(addr);
         }
+        self.scratch.finished_addrs = finished_addrs;
 
         // Dequeue at most one complete vector, in order.
-        let mut out = Vec::new();
+        let mut have_completion = false;
         if self.queue.front().is_some_and(QueueEntry::is_complete) {
             let entry = self.queue.pop().expect("checked non-empty");
             self.lane_throughput.add(
@@ -433,31 +545,35 @@ impl Spmu {
                     .filter(|l| matches!(l, LaneState::Done { .. } | LaneState::DuplicateOf(_)))
                     .count() as u64,
             );
-            let mut results: Vec<Option<f32>> = entry
-                .lanes
-                .iter()
-                .map(|l| match l {
-                    LaneState::Done { result, .. } => Some(*result),
-                    _ => None,
-                })
-                .collect();
+            let results = &mut self.completed.results;
+            results.clear();
+            results.extend(entry.lanes.iter().map(|l| match l {
+                LaneState::Done { result, .. } => Some(*result),
+                _ => None,
+            }));
             // Fill elided duplicates from the lane that performed the read.
             for (i, lane) in entry.lanes.iter().enumerate() {
                 if let LaneState::DuplicateOf(src) = lane {
                     results[i] = results[*src];
                 }
             }
-            out.push(CompletedVector {
-                id: entry.id,
-                dequeue_cycle: self.cycle,
-                results,
-            });
+            self.completed.id = entry.id;
+            self.completed.dequeue_cycle = self.cycle;
+            have_completion = true;
+            // Recycle the entry's lane buffer.
+            let mut lanes = entry.lanes;
+            lanes.clear();
+            self.lane_pool.push(lanes);
         }
 
         // ➊ Enqueue: admit at most one staged vector.
         self.admit_staged();
 
-        out
+        if have_completion {
+            Some(&self.completed)
+        } else {
+            None
+        }
     }
 
     fn admit_staged(&mut self) {
@@ -478,9 +594,12 @@ impl Spmu {
                 return;
             }
         }
-        let vector = self.staging.pop_front().expect("checked non-empty");
-        let mut lanes: Vec<LaneState> = Vec::with_capacity(self.cfg.lanes);
-        let mut seen_reads: Vec<(u32, usize)> = Vec::new();
+        let mut vector = self.staging.pop_front().expect("checked non-empty");
+        let mut lanes = self.lane_pool.pop().unwrap_or_default();
+        lanes.clear();
+        lanes.reserve(self.cfg.lanes);
+        let mut seen_reads = std::mem::take(&mut self.scratch.seen_reads);
+        seen_reads.clear();
         for (i, lane) in vector.lanes.iter().enumerate() {
             let state = match lane {
                 None => LaneState::Empty,
@@ -500,7 +619,17 @@ impl Spmu {
             };
             lanes.push(state);
         }
+        self.scratch.seen_reads = seen_reads;
         lanes.resize(self.cfg.lanes, LaneState::Empty);
+        let mut pending_mask = 0u64;
+        for (i, lane) in lanes.iter().enumerate() {
+            if matches!(lane, LaneState::Pending(_)) {
+                pending_mask |= 1 << i;
+            }
+        }
+        // Recycle the staging slot.
+        vector.lanes.clear();
+        self.staging_pool.push(vector);
         if self.cfg.ordering == OrderingMode::AddressOrdered {
             for lane in &lanes {
                 if let LaneState::Pending(req) = lane {
@@ -511,38 +640,84 @@ impl Spmu {
         let id = self.next_id;
         self.next_id += 1;
         self.queue
-            .push(QueueEntry { id, lanes })
+            .push(QueueEntry {
+                id,
+                lanes,
+                pending: pending_mask,
+                issued: 0,
+            })
             .expect("checked space");
     }
 
     /// Allocated issue (Unordered / AddressOrdered): windowed separable
     /// allocation over the issue queue.
+    ///
+    /// The per-iteration request masks are built *incrementally*: the
+    /// age-priority windows are cumulative (each iteration sees a
+    /// superset of the previous one, §3.1.1), so one entry-major sweep
+    /// over the queue accumulates per-lane bank masks and snapshots them
+    /// at each window boundary. This visits every queue entry once
+    /// instead of once per (lane, iteration) and hashes each pending
+    /// address once, producing bit-identical masks to the naive build.
     fn issue_allocated(&mut self) -> usize {
-        let ports = self.cfg.lanes * self.cfg.input_speedup;
-        // Build cumulative per-iteration request masks.
-        let mut iterations: Vec<Vec<u64>> = Vec::with_capacity(self.cfg.alloc_iterations);
-        for iter in 0..self.cfg.alloc_iterations {
-            let window = self.cfg.window_for_iteration(iter);
-            let mut masks = vec![0u64; ports];
-            for lane in 0..self.cfg.lanes {
-                let mut bank_mask = 0u64;
-                for qi in 0..window.min(self.queue.len()) {
-                    let entry = self.queue.get(qi).expect("index in range");
-                    if let LaneState::Pending(req) = entry.lanes[lane] {
-                        bank_mask |= 1 << self.cfg.hash.bank_of(req.addr, self.cfg.banks);
-                    }
-                }
-                for s in 0..self.cfg.input_speedup {
-                    masks[lane * self.cfg.input_speedup + s] = bank_mask;
+        let lanes = self.cfg.lanes;
+        let speedup = self.cfg.input_speedup;
+        let ports = lanes * speedup;
+        let mut masks = std::mem::take(&mut self.scratch.masks);
+        masks.clear();
+        masks.resize(self.cfg.alloc_iterations * ports, 0);
+        let mut lane_masks = std::mem::take(&mut self.scratch.lane_masks);
+        lane_masks.clear();
+        lane_masks.resize(lanes, 0);
+        let mut windows = std::mem::take(&mut self.scratch.windows);
+        windows.clear();
+        windows.extend(
+            (0..self.cfg.alloc_iterations)
+                .map(|iter| self.cfg.window_for_iteration(iter).min(self.queue.len())),
+        );
+        let deepest = windows.iter().copied().max().unwrap_or(0);
+        let snapshot = |masks: &mut [u64], lane_masks: &[u64], iter: usize| {
+            for (lane, &mask) in lane_masks.iter().enumerate() {
+                for s in 0..speedup {
+                    masks[iter * ports + lane * speedup + s] = mask;
                 }
             }
-            iterations.push(masks);
+        };
+        for qi in 0..deepest {
+            let entry = self.queue.get(qi).expect("index in range");
+            let mut pending = entry.pending;
+            while pending != 0 {
+                let lane = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                if let LaneState::Pending(req) = entry.lanes[lane] {
+                    lane_masks[lane] |= 1 << self.cfg.hash.bank_of(req.addr, self.cfg.banks);
+                }
+            }
+            for (iter, &w) in windows.iter().enumerate() {
+                if w == qi + 1 {
+                    snapshot(&mut masks, &lane_masks, iter);
+                }
+            }
         }
-        let result = alloc::allocate(&iterations, self.cfg.banks);
+        // Empty-window iterations (an empty queue) keep all-zero masks.
+        self.scratch.lane_masks = lane_masks;
+        self.scratch.windows = windows;
+        let mut result = std::mem::take(&mut self.scratch.alloc_result);
+        let mut alloc_scratch = std::mem::take(&mut self.scratch.alloc_scratch);
+        alloc::allocate_into(
+            &masks,
+            ports,
+            self.cfg.banks,
+            &mut alloc_scratch,
+            &mut result,
+        );
+        self.scratch.masks = masks;
+        self.scratch.alloc_scratch = alloc_scratch;
 
         // Map grants back to the oldest matching pending request per lane.
         let mut granted = 0;
-        let mut used: Vec<(usize, u64)> = Vec::new(); // (lane, entry id) already taken
+        let mut used = std::mem::take(&mut self.scratch.used); // (lane, entry id) already taken
+        used.clear();
         for (port, grant) in result.grants.iter().enumerate() {
             let Some(bank) = *grant else { continue };
             let lane = port / self.cfg.input_speedup;
@@ -550,6 +725,8 @@ impl Spmu {
                 granted += 1;
             }
         }
+        self.scratch.used = used;
+        self.scratch.alloc_result = result;
         granted
     }
 
@@ -557,12 +734,16 @@ impl Spmu {
     fn issue_oldest(&mut self, lane: usize, bank: usize, used: &mut Vec<(usize, u64)>) -> bool {
         let window = self.cfg.window_for_iteration(self.cfg.alloc_iterations - 1);
         for qi in 0..window.min(self.queue.len()) {
-            let id = self.queue.get(qi).expect("in range").id;
+            let entry = self.queue.get(qi).expect("in range");
+            if entry.pending >> lane & 1 == 0 {
+                continue;
+            }
+            let id = entry.id;
+            let state = entry.lanes[lane];
             if used.contains(&(lane, id)) {
                 continue;
             }
-            let entry = self.queue.get(qi).expect("in range");
-            if let LaneState::Pending(req) = entry.lanes[lane] {
+            if let LaneState::Pending(req) = state {
                 if self.cfg.hash.bank_of(req.addr, self.cfg.banks) == bank {
                     used.push((lane, id));
                     self.issue_request(qi, lane, req, bank);
@@ -594,6 +775,8 @@ impl Spmu {
             result: returned,
             addr: req.addr,
         };
+        entry.pending &= !(1 << lane);
+        entry.issued |= 1 << lane;
     }
 
     /// Ideal conflict-free issue: every lane issues its oldest pending
@@ -603,6 +786,9 @@ impl Spmu {
         for lane in 0..self.cfg.lanes {
             for qi in 0..self.queue.len() {
                 let entry = self.queue.get(qi).expect("in range");
+                if entry.pending >> lane & 1 == 0 {
+                    continue;
+                }
                 if let LaneState::Pending(req) = entry.lanes[lane] {
                     let bank = self.cfg.hash.bank_of(req.addr, self.cfg.banks);
                     self.issue_request(qi, lane, req, bank);
@@ -618,14 +804,7 @@ impl Spmu {
     /// Ordered issue modes work on this entry; completion of *earlier*
     /// entries overlaps in the pipeline, as in Plasticine's MU.
     fn oldest_pending_entry(&self) -> Option<usize> {
-        (0..self.queue.len()).find(|&qi| {
-            self.queue
-                .get(qi)
-                .expect("in range")
-                .lanes
-                .iter()
-                .any(|l| matches!(l, LaneState::Pending(_)))
-        })
+        (0..self.queue.len()).find(|&qi| self.queue.get(qi).expect("in range").pending != 0)
     }
 
     /// Fully ordered issue: requests leave in program order; each cycle
@@ -636,7 +815,8 @@ impl Spmu {
             return 0;
         };
         let entry = self.queue.get(qi).expect("in range");
-        let mut to_issue: Vec<(usize, LaneRequest, usize)> = Vec::new();
+        let mut to_issue = std::mem::take(&mut self.scratch.to_issue);
+        to_issue.clear();
         let mut banks_used = 0u64;
         for (lane, state) in entry.lanes.iter().enumerate() {
             match state {
@@ -655,9 +835,10 @@ impl Spmu {
             }
         }
         let granted = to_issue.len();
-        for (lane, req, bank) in to_issue {
+        for &(lane, req, bank) in &to_issue {
             self.issue_request(qi, lane, req, bank);
         }
+        self.scratch.to_issue = to_issue;
         granted
     }
 
@@ -668,13 +849,19 @@ impl Spmu {
             return 0;
         };
         let entry = self.queue.get(qi).expect("in range");
-        let mut masks = vec![0u64; self.cfg.lanes];
+        let mut masks = std::mem::take(&mut self.scratch.masks);
+        masks.clear();
+        masks.resize(self.cfg.lanes, 0);
         for (lane, state) in entry.lanes.iter().enumerate() {
             if let LaneState::Pending(req) = state {
                 masks[lane] = 1 << self.cfg.hash.bank_of(req.addr, self.cfg.banks);
             }
         }
-        let result = alloc::maximal_matching(&masks, self.cfg.banks);
+        let mut result = std::mem::take(&mut self.scratch.alloc_result);
+        let mut alloc_scratch = std::mem::take(&mut self.scratch.alloc_scratch);
+        alloc::maximal_matching_into(&masks, self.cfg.banks, &mut alloc_scratch, &mut result);
+        self.scratch.masks = masks;
+        self.scratch.alloc_scratch = alloc_scratch;
         let mut granted = 0;
         for (lane, grant) in result.grants.iter().enumerate() {
             let Some(bank) = *grant else { continue };
@@ -684,13 +871,19 @@ impl Spmu {
                 granted += 1;
             }
         }
+        self.scratch.alloc_result = result;
         granted
     }
 }
 
 /// Splits a vector so no two lanes in one part share an address
 /// (address-ordered admission, §3.1.2).
-fn split_same_address(vector: &AccessVector) -> Vec<AccessVector> {
+///
+/// This is the allocating *reference implementation*; the hot path uses
+/// [`Spmu::split_into_staging`], which writes the parts directly into
+/// recycled staging slots. The two must stay behaviourally identical
+/// (see the `split_same_address_helper` test).
+pub fn split_same_address(vector: &AccessVector) -> Vec<AccessVector> {
     let mut parts: Vec<AccessVector> = Vec::new();
     for (i, lane) in vector.lanes.iter().enumerate() {
         let Some(req) = lane else { continue };
@@ -722,7 +915,7 @@ mod tests {
     fn drain(spmu: &mut Spmu, budget: u64) -> Vec<CompletedVector> {
         let mut out = Vec::new();
         for _ in 0..budget {
-            out.extend(spmu.tick());
+            out.extend(spmu.tick().cloned());
             if spmu.is_idle() {
                 break;
             }
@@ -737,7 +930,7 @@ mod tests {
             spmu.poke(addr, v);
         }
         let vec = AccessVector::reads(&[0, 17, 4000]);
-        assert!(spmu.try_enqueue(vec));
+        assert!(spmu.try_enqueue(&vec));
         let done = drain(&mut spmu, 100);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].results[0], Some(1.5));
@@ -750,7 +943,7 @@ mod tests {
         let mut spmu = Spmu::new(SpmuConfig::default());
         for _ in 0..10 {
             let v = AccessVector::new(vec![Some(LaneRequest::rmw(5, RmwOp::AddF, 1.0)); 4]);
-            while !spmu.try_enqueue(v.clone()) {
+            while !spmu.try_enqueue(&v) {
                 spmu.tick();
             }
             spmu.tick();
@@ -774,11 +967,11 @@ mod tests {
                 // identical low nibble via multiples of 16 with hashing
                 // disabled by picking addresses that hash to bank 0).
                 let v = AccessVector::reads(&[0, 0, 0, 0]);
-                if spmu.try_enqueue(v) {
+                if spmu.try_enqueue(&v) {
                     sent += 1;
                 }
             }
-            received.extend(spmu.tick());
+            received.extend(spmu.tick().cloned());
         }
         assert_eq!(received.len(), 20);
         let ids: Vec<u64> = received.iter().map(|c| c.id).collect();
@@ -793,7 +986,7 @@ mod tests {
         let mut spmu = Spmu::new(SpmuConfig::default());
         spmu.poke(9, 7.0);
         let v = AccessVector::reads(&[9, 9, 9, 9]);
-        spmu.try_enqueue(v);
+        spmu.try_enqueue(&v);
         let done = drain(&mut spmu, 100);
         // Lanes are padded to the configured width; the four populated
         // lanes all observe the single performed read.
@@ -814,7 +1007,7 @@ mod tests {
             Some(LaneRequest::rmw(3, RmwOp::AddF, 1.0)),
             Some(LaneRequest::rmw(4, RmwOp::AddF, 1.0)),
         ]);
-        spmu.try_enqueue(v);
+        spmu.try_enqueue(&v);
         drain(&mut spmu, 200);
         assert_eq!(spmu.peek(3), 2.0);
         assert_eq!(spmu.peek(4), 1.0);
@@ -839,6 +1032,40 @@ mod tests {
     }
 
     #[test]
+    fn in_place_split_matches_reference() {
+        // The hot-path splitter writes into the staging ring; it must
+        // stage exactly the parts the reference implementation returns.
+        let cases = [
+            vec![
+                Some(LaneRequest::write(1, 1.0)),
+                Some(LaneRequest::write(1, 2.0)),
+                Some(LaneRequest::write(2, 3.0)),
+                Some(LaneRequest::write(1, 4.0)),
+            ],
+            vec![None, None, None],
+            vec![Some(LaneRequest::rmw(9, RmwOp::AddF, 1.0)); 16],
+            vec![
+                None,
+                Some(LaneRequest::read(7)),
+                None,
+                Some(LaneRequest::read(7)),
+            ],
+        ];
+        for lanes in cases {
+            let v = AccessVector::new(lanes);
+            let reference = split_same_address(&v);
+            let cfg = SpmuConfig {
+                ordering: OrderingMode::AddressOrdered,
+                ..Default::default()
+            };
+            let mut spmu = Spmu::new(cfg);
+            assert!(spmu.try_enqueue(&v));
+            let staged: Vec<AccessVector> = spmu.staging.iter().cloned().collect();
+            assert_eq!(staged, reference, "split mismatch for {v:?}");
+        }
+    }
+
+    #[test]
     fn ordering_modes_all_complete() {
         for ordering in [
             OrderingMode::Unordered,
@@ -859,11 +1086,11 @@ mod tests {
                 if sent < 10 {
                     let addrs: Vec<u32> =
                         (0..16).map(|i| (sent as u32 * 31 + i * 7) % 1024).collect();
-                    if spmu.try_enqueue(AccessVector::reads(&addrs)) {
+                    if spmu.try_enqueue(&AccessVector::reads(&addrs)) {
                         sent += 1;
                     }
                 }
-                done += spmu.tick().len();
+                done += spmu.tick().is_some() as usize;
             }
             assert_eq!(done, 10, "{ordering:?} failed to complete");
         }
@@ -880,11 +1107,10 @@ mod tests {
         let v = AccessVector::reads(&(0..16).map(|_| 0u32).collect::<Vec<_>>());
         // Disable elision to force 16 real requests.
         spmu.cfg.elide_repeated_reads = false;
-        spmu.try_enqueue(v);
+        spmu.try_enqueue(&v);
         spmu.tick(); // admit
-        let grants_cycle = spmu.tick(); // issue all
-        let _ = grants_cycle;
-        // After pipeline latency, everything is done in one dequeue.
+        spmu.tick(); // issue all
+                     // After pipeline latency, everything is done in one dequeue.
         let done = drain(&mut spmu, 10);
         assert_eq!(done.len(), 1);
     }

@@ -79,14 +79,14 @@ proptest! {
                 ..Default::default()
             };
             let mut spmu = capstan_arch::spmu::Spmu::new(cfg);
-            let mut pending: Option<AccessVector> = None;
+            let mut pending: Option<&AccessVector> = None;
             let mut iter = vectors.iter();
             for _ in 0..20_000 {
                 if pending.is_none() {
-                    pending = iter.next().cloned();
+                    pending = iter.next();
                 }
                 if let Some(v) = pending.take() {
-                    if !spmu.try_enqueue(v.clone()) {
+                    if !spmu.try_enqueue(v) {
                         pending = Some(v);
                     }
                 }

@@ -6,7 +6,8 @@
 //! purposes: (1) they are *real measured* multi-core implementations used
 //! by the criterion benches to sanity-check that Capstan's simulated
 //! speedups are not artifacts of a strawman CPU cost model, and (2) they
-//! double-check the functional results of every app.
+//! double-check the functional results of every app. Threading uses
+//! `std::thread::scope` so the crate stays dependency-free.
 
 use capstan_tensor::{Csc, Csr, Value};
 
@@ -24,18 +25,17 @@ pub fn spmv_csr_parallel(m: &Csr, x: &[Value], threads: usize) -> Vec<Value> {
     let mut y = vec![0.0; rows];
     let threads = threads.max(1).min(rows.max(1));
     let chunk = rows.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (block, slice) in y.chunks_mut(chunk).enumerate() {
             let start = block * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, out) in slice.iter_mut().enumerate() {
                     let r = start + i;
                     *out = m.row(r).map(|(c, v)| v * x[c as usize]).sum();
                 }
             });
         }
-    })
-    .expect("cpu kernel threads");
+    });
     y
 }
 
@@ -47,12 +47,12 @@ pub fn spmv_csc_parallel(m: &Csc, x: &[Value], threads: usize) -> Vec<Value> {
     let rows = m.rows();
     let threads = threads.max(1).min(cols.max(1));
     let chunk = cols.div_ceil(threads);
-    let partials: Vec<Vec<Value>> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<Vec<Value>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for block in 0..threads {
             let lo = block * chunk;
             let hi = ((block + 1) * chunk).min(cols);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut part = vec![0.0; rows];
                 for (c, &xc) in x.iter().enumerate().take(hi).skip(lo) {
                     if xc == 0.0 {
@@ -69,8 +69,7 @@ pub fn spmv_csc_parallel(m: &Csc, x: &[Value], threads: usize) -> Vec<Value> {
             .into_iter()
             .map(|h| h.join().expect("join"))
             .collect()
-    })
-    .expect("cpu kernel threads");
+    });
     let mut y = vec![0.0; rows];
     for part in partials {
         for (o, p) in y.iter_mut().zip(part) {
@@ -92,10 +91,10 @@ pub fn pagerank_pull_parallel(
     let mut next = vec![0.0; n];
     let threads = threads.max(1).min(n.max(1));
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (block, slice) in next.chunks_mut(chunk).enumerate() {
             let start = block * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, out) in slice.iter_mut().enumerate() {
                     let v = start + i;
                     let pulled: Value = in_adj
@@ -106,8 +105,7 @@ pub fn pagerank_pull_parallel(
                 }
             });
         }
-    })
-    .expect("cpu kernel threads");
+    });
     next
 }
 
@@ -126,11 +124,11 @@ pub fn bfs_parallel(adj: &Csr, source: u32, threads: usize) -> Vec<u32> {
         level += 1;
         let threads = threads.max(1).min(frontier.len());
         let chunk = frontier.len().div_ceil(threads);
-        let next: Vec<Vec<u32>> = crossbeam::thread::scope(|scope| {
+        let next: Vec<Vec<u32>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for block in frontier.chunks(chunk) {
                 let dist = &dist;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut local = Vec::new();
                     for &s in block {
                         for (d, _) in adj.row(s as usize) {
@@ -154,8 +152,7 @@ pub fn bfs_parallel(adj: &Csr, source: u32, threads: usize) -> Vec<u32> {
                 .into_iter()
                 .map(|h| h.join().expect("join"))
                 .collect()
-        })
-        .expect("cpu kernel threads");
+        });
         frontier = next.into_iter().flatten().collect();
     }
     dist.into_iter().map(|a| a.into_inner()).collect()

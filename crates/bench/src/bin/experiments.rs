@@ -1,16 +1,83 @@
-//! Experiment driver: regenerates every table and figure of the paper.
+//! Experiment driver: regenerates every table and figure of the paper,
+//! and records a machine-readable performance trajectory.
 //!
 //! ```text
-//! experiments <table4|table5|...|table13|fig4|fig5a|fig5b|fig5c|fig6|fig7|all> [--scale small|medium|large]
+//! experiments [NAMES...] [--scale small|medium|large] [--bench-out PATH]
 //! ```
+//!
+//! `NAMES` are `table4..table13`, `fig4..fig7`, `ablations`,
+//! `extensions`, or `all` (the default). Full-suite (`all`) runs write
+//! `BENCH_core.json` — wall seconds, simulated cycles, and simulated
+//! cycles per wall second for every experiment — so successive PRs have
+//! a comparable perf baseline. Subset runs do NOT write it by default
+//! (a partial file would silently replace the committed full-suite
+//! baseline); pass `--bench-out PATH` to record one anyway, or
+//! `--no-bench-out` to suppress the full-suite write.
 
 use capstan_bench::experiments as exp;
 use capstan_bench::Suite;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct BenchRecord {
+    name: String,
+    wall_seconds: f64,
+    simulated_cycles: u64,
+}
+
+fn run_one(name: &str, suite: &Suite) -> bool {
+    match exp::run_by_name(name, suite) {
+        Some(_report) => true, // the experiment already printed itself
+        None => {
+            eprintln!("unknown experiment `{name}`");
+            false
+        }
+    }
+}
+
+fn bench_json(scale: &str, records: &[BenchRecord]) -> String {
+    let mut json = String::new();
+    let total_wall: f64 = records.iter().map(|r| r.wall_seconds).sum();
+    let total_cycles: u64 = records.iter().map(|r| r.simulated_cycles).sum();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"capstan-bench-core/v1\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(
+        json,
+        "  \"threads\": {},",
+        capstan_par::thread_count(usize::MAX)
+    );
+    let _ = writeln!(json, "  \"experiments\": [");
+    for (i, r) in records.iter().enumerate() {
+        let cps = if r.wall_seconds > 0.0 {
+            r.simulated_cycles as f64 / r.wall_seconds
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"simulated_cycles\": {}, \"cycles_per_second\": {:.1}}}{}",
+            r.name,
+            r.wall_seconds,
+            r.simulated_cycles,
+            cps,
+            if i + 1 < records.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.6},");
+    let _ = writeln!(json, "  \"total_simulated_cycles\": {total_cycles}");
+    let _ = writeln!(json, "}}");
+    json
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut suite = Suite::medium();
+    let mut scale_name = "medium".to_string();
+    let mut bench_out: Option<String> = None;
+    let mut no_bench_out = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -18,35 +85,65 @@ fn main() {
                 let name = it.next().expect("--scale needs a value");
                 suite = Suite::from_name(name)
                     .unwrap_or_else(|| panic!("unknown scale `{name}` (small|medium|large)"));
+                scale_name = name.to_string();
             }
+            "--bench-out" => {
+                bench_out = Some(it.next().expect("--bench-out needs a path").to_string());
+            }
+            "--no-bench-out" => no_bench_out = true,
             other => which.push(other.to_string()),
         }
     }
     if which.is_empty() {
         which.push("all".to_string());
     }
-    for w in which {
-        match w.as_str() {
-            "table4" => drop(exp::table4()),
-            "table5" => drop(exp::table5()),
-            "table6" => drop(exp::table6(&suite)),
-            "table7" => drop(exp::table7()),
-            "table8" => drop(exp::table8()),
-            "table9" => drop(exp::table9(&suite)),
-            "table10" => drop(exp::table10(&suite)),
-            "table11" => drop(exp::table11(&suite)),
-            "table12" => drop(exp::table12(&suite)),
-            "table13" => drop(exp::table13(&suite)),
-            "fig4" => drop(exp::fig4()),
-            "fig5a" => drop(exp::fig5a(&suite)),
-            "fig5b" => drop(exp::fig5b(&suite)),
-            "fig5c" => drop(exp::fig5c(&suite)),
-            "fig6" => drop(exp::fig6(&suite)),
-            "fig7" => drop(exp::fig7(&suite)),
-            "ablations" => drop(exp::ablations(&suite)),
-            "extensions" => drop(exp::extensions(&suite)),
-            "all" => drop(exp::all(&suite)),
-            other => eprintln!("unknown experiment `{other}`"),
+    // Only a full-suite run defaults to writing the baseline: a subset
+    // record would silently replace the committed full-suite file.
+    if bench_out.is_none() && !no_bench_out && which.iter().any(|w| w == "all") {
+        bench_out = Some("BENCH_core.json".to_string());
+    }
+    if no_bench_out {
+        bench_out = None;
+    }
+    // Expand `all` so the perf record stays per-experiment.
+    let expanded: Vec<String> = which
+        .into_iter()
+        .flat_map(|w| {
+            if w == "all" {
+                exp::ALL_NAMES.iter().map(|s| s.to_string()).collect()
+            } else {
+                vec![w]
+            }
+        })
+        .collect();
+
+    let mut records = Vec::new();
+    let mut failed = false;
+    for name in &expanded {
+        let cycles_before = capstan_sim::stats::simulated_cycles();
+        let start = Instant::now();
+        if run_one(name, &suite) {
+            records.push(BenchRecord {
+                name: name.clone(),
+                wall_seconds: start.elapsed().as_secs_f64(),
+                simulated_cycles: capstan_sim::stats::simulated_cycles() - cycles_before,
+            });
+        } else {
+            failed = true;
         }
+    }
+
+    if let Some(path) = bench_out {
+        let json = bench_json(&scale_name, &records);
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("wrote {path} ({} experiments)", records.len()),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

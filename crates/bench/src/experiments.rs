@@ -2,6 +2,13 @@
 //!
 //! Every function returns the formatted report it prints, so integration
 //! tests can assert on the reproduced shapes.
+//!
+//! The heavy sweeps — `record_and_simulate`'s `(dataset x config)`
+//! matrix, Table 4's 18 SpMU design points, Fig. 4's four ordering
+//! modes, and the Fig. 5 bandwidth sweeps — run through
+//! [`capstan_par::par_map`], which returns results in input order, so
+//! the report text is byte-identical to a serial run (set
+//! `CAPSTAN_THREADS=1` to force one).
 
 use crate::suite::{gmean, AppId, Suite};
 use capstan_apps::App;
@@ -26,22 +33,34 @@ fn header(title: &str) -> String {
 /// Records each app once per dataset under `record_cfg`, then simulates
 /// the recording under every provided configuration (valid when the
 /// configs do not change what gets recorded).
+///
+/// Both stages run in parallel — the per-dataset recordings, then every
+/// `(config, dataset)` simulation pair — via [`capstan_par::par_map`],
+/// whose in-order result placement keeps the report text identical to
+/// the serial path (`CAPSTAN_THREADS=1` forces serial execution; the
+/// `parallel_harness_matches_serial` proptest pins the equivalence).
 fn record_and_simulate(
     suite: &Suite,
     app: AppId,
     record_cfg: &CapstanConfig,
     sim_cfgs: &[(&str, CapstanConfig)],
 ) -> Vec<(String, Vec<PerfReport>)> {
-    let workloads: Vec<Workload> = suite
-        .build_all(app)
-        .iter()
-        .map(|a| a.build(record_cfg))
+    let workloads: Vec<Workload> =
+        capstan_par::par_map(app.datasets(), |&d| suite.build(app, d).build(record_cfg));
+    let pairs: Vec<(usize, usize)> = (0..sim_cfgs.len())
+        .flat_map(|ci| (0..workloads.len()).map(move |wi| (ci, wi)))
         .collect();
+    let mut reports = capstan_par::par_map(&pairs, |&(ci, wi)| {
+        simulate(&workloads[wi], &sim_cfgs[ci].1)
+    })
+    .into_iter();
     sim_cfgs
         .iter()
-        .map(|(name, cfg)| {
-            let reports = workloads.iter().map(|w| simulate(w, cfg)).collect();
-            (name.to_string(), reports)
+        .map(|(name, _)| {
+            (
+                name.to_string(),
+                reports.by_ref().take(workloads.len()).collect(),
+            )
         })
         .collect()
 }
@@ -68,19 +87,27 @@ pub fn table4() -> String {
         "{:>5} {:>8} {:>12} | {:>15} {:>15} {:>15}",
         "Depth", "Crossbar", "Sched. um2", "1-Pri (paper)", "2-Pri (paper)", "3-Pri (paper)"
     );
-    for &(depth, speedup, paper_vals) in paper {
+    // All 18 design points measure concurrently; rows format in order.
+    let points: Vec<(usize, usize, usize)> = paper
+        .iter()
+        .flat_map(|&(depth, speedup, _)| (1..=3).map(move |pri| (depth, speedup, pri)))
+        .collect();
+    let utils = capstan_par::par_map(&points, |&(depth, speedup, pri)| {
+        let cfg = SpmuConfig {
+            queue_depth: depth,
+            input_speedup: speedup,
+            priorities: pri,
+            ..Default::default()
+        };
+        measure_random_throughput(cfg, 42, 1000, 4000).bank_utilization
+    });
+    for (row, &(depth, speedup, paper_vals)) in paper.iter().enumerate() {
         let sched = area::scheduler_area_um2(depth, speedup);
-        let mut cells = Vec::new();
-        for (pi, &pv) in paper_vals.iter().enumerate() {
-            let mut cfg = SpmuConfig {
-                queue_depth: depth,
-                input_speedup: speedup,
-                ..Default::default()
-            };
-            cfg.priorities = pi + 1;
-            let r = measure_random_throughput(cfg, 42, 1000, 4000);
-            cells.push(format!("{:5.1} ({:5.1})", r.bank_utilization * 100.0, pv));
-        }
+        let cells: Vec<String> = paper_vals
+            .iter()
+            .enumerate()
+            .map(|(pi, &pv)| format!("{:5.1} ({:5.1})", utils[row * 3 + pi] * 100.0, pv))
+            .collect();
         let _ = writeln!(
             out,
             "{:>5} {:>8} {:>12.0} | {:>15} {:>15} {:>15}",
@@ -638,19 +665,17 @@ pub fn fig4() -> String {
         (OrderingMode::FullyOrdered, 25.5),
         (OrderingMode::Arbitrated, 32.4),
     ];
-    for (mode, paper_util) in paper {
+    // The four ordering modes trace and measure concurrently.
+    let measured = capstan_par::par_map(&paper, |&(mode, _)| {
         let cfg = SpmuConfig {
             ordering: mode,
             ..Default::default()
         };
         let run = trace_one_vector(cfg, 42, 40);
-        let util = {
-            let m = SpmuConfig {
-                ordering: mode,
-                ..Default::default()
-            };
-            measure_random_throughput(m, 42, 1000, 4000).bank_utilization * 100.0
-        };
+        let util = measure_random_throughput(cfg, 42, 1000, 4000).bank_utilization * 100.0;
+        (run, util)
+    });
+    for ((mode, paper_util), (run, util)) in paper.into_iter().zip(measured) {
         let _ = writeln!(
             out,
             "{} — util {:.1}% (paper {:.1}%)",
@@ -698,11 +723,14 @@ pub fn fig5a(suite: &Suite) -> String {
             app.datasets()[1]
         };
         let workload = suite.build(*app, dataset).build(&base);
-        let baseline = simulate(&workload, &CapstanConfig::new(MemoryKind::Custom(20.0)));
+        // Baseline plus all bandwidth points simulate concurrently.
+        let cycles = capstan_par::par_map_range(bandwidths.len() + 1, |i| {
+            let bw = if i == 0 { 20.0 } else { bandwidths[i - 1] };
+            simulate(&workload, &CapstanConfig::new(MemoryKind::Custom(bw))).cycles
+        });
         let _ = write!(out, "{:<9}", app.short());
-        for bw in bandwidths {
-            let r = simulate(&workload, &CapstanConfig::new(MemoryKind::Custom(bw)));
-            let _ = write!(out, "{:>8.2}", baseline.cycles as f64 / r.cycles as f64);
+        for (i, _) in bandwidths.iter().enumerate() {
+            let _ = write!(out, "{:>8.2}", cycles[0] as f64 / cycles[i + 1] as f64);
         }
         let _ = writeln!(out);
     }
@@ -776,14 +804,16 @@ pub fn fig5c(suite: &Suite) -> String {
             app.datasets()[1]
         };
         let workload = suite.build(app, dataset).build(&base);
-        let _ = write!(out, "{:<9}", app.short());
-        for bw in bandwidths {
+        // Every (bandwidth, compression on/off) pair simulates concurrently.
+        let speedups = capstan_par::par_map(&bandwidths, |&bw| {
             let mut on = CapstanConfig::new(MemoryKind::Custom(bw));
             on.compression = true;
             let mut off = on;
             off.compression = false;
-            let speedup =
-                simulate(&workload, &off).cycles as f64 / simulate(&workload, &on).cycles as f64;
+            simulate(&workload, &off).cycles as f64 / simulate(&workload, &on).cycles as f64
+        });
+        let _ = write!(out, "{:<9}", app.short());
+        for speedup in speedups {
             let _ = write!(out, "{speedup:>8.2}");
         }
         let _ = writeln!(out);
@@ -929,17 +959,20 @@ pub fn ablations(suite: &Suite) -> String {
         out,
         "(a) address-ordered SpMU throughput vs Bloom entries (paper: 128):"
     );
-    for entries in [32usize, 64, 128, 256, 512] {
+    let entry_counts = [32usize, 64, 128, 256, 512];
+    let bloom_utils = capstan_par::par_map(&entry_counts, |&entries| {
         let cfg = SpmuConfig {
             ordering: OrderingMode::AddressOrdered,
             bloom_entries: entries,
             ..Default::default()
         };
-        let r = measure_random_throughput(cfg, 42, 1000, 4000);
+        measure_random_throughput(cfg, 42, 1000, 4000).bank_utilization
+    });
+    for (entries, util) in entry_counts.into_iter().zip(bloom_utils) {
         let _ = writeln!(
             out,
             "  {entries:>4} entries: {:>5.1}% banks busy",
-            r.bank_utilization * 100.0
+            util * 100.0
         );
     }
 
@@ -948,16 +981,19 @@ pub fn ablations(suite: &Suite) -> String {
         out,
         "(b) unordered throughput vs allocator iterations (paper: 3):"
     );
-    for iters in [1usize, 2, 3, 4] {
+    let iteration_counts = [1usize, 2, 3, 4];
+    let iter_utils = capstan_par::par_map(&iteration_counts, |&iters| {
         let cfg = SpmuConfig {
             alloc_iterations: iters,
             ..Default::default()
         };
-        let r = measure_random_throughput(cfg, 42, 1000, 4000);
+        measure_random_throughput(cfg, 42, 1000, 4000).bank_utilization
+    });
+    for (iters, util) in iteration_counts.into_iter().zip(iter_utils) {
         let _ = writeln!(
             out,
             "  {iters} iterations: {:>5.1}% banks busy",
-            r.bank_utilization * 100.0
+            util * 100.0
         );
     }
 
@@ -1137,26 +1173,59 @@ pub fn extensions(suite: &Suite) -> String {
     out
 }
 
+/// Every experiment name, in canonical [`all`] order. The `experiments`
+/// binary iterates this same list, so the two can never drift.
+pub const ALL_NAMES: &[&str] = &[
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "fig4",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "table13",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig6",
+    "fig7",
+    "ablations",
+    "extensions",
+];
+
+/// Runs one experiment by name, returning its report text (`None` for
+/// an unknown name).
+pub fn run_by_name(name: &str, suite: &Suite) -> Option<String> {
+    Some(match name {
+        "table4" => table4(),
+        "table5" => table5(),
+        "table6" => table6(suite),
+        "table7" => table7(),
+        "table8" => table8(),
+        "fig4" => fig4(),
+        "table9" => table9(suite),
+        "table10" => table10(suite),
+        "table11" => table11(suite),
+        "table12" => table12(suite),
+        "table13" => table13(suite),
+        "fig5a" => fig5a(suite),
+        "fig5b" => fig5b(suite),
+        "fig5c" => fig5c(suite),
+        "fig6" => fig6(suite),
+        "fig7" => fig7(suite),
+        "ablations" => ablations(suite),
+        "extensions" => extensions(suite),
+        _ => return None,
+    })
+}
+
 /// Runs every experiment.
 pub fn all(suite: &Suite) -> String {
-    let mut out = String::new();
-    out.push_str(&table4());
-    out.push_str(&table5());
-    out.push_str(&table6(suite));
-    out.push_str(&table7());
-    out.push_str(&table8());
-    out.push_str(&fig4());
-    out.push_str(&table9(suite));
-    out.push_str(&table10(suite));
-    out.push_str(&table11(suite));
-    out.push_str(&table12(suite));
-    out.push_str(&table13(suite));
-    out.push_str(&fig5a(suite));
-    out.push_str(&fig5b(suite));
-    out.push_str(&fig5c(suite));
-    out.push_str(&fig6(suite));
-    out.push_str(&fig7(suite));
-    out.push_str(&ablations(suite));
-    out.push_str(&extensions(suite));
-    out
+    ALL_NAMES
+        .iter()
+        .map(|name| run_by_name(name, suite).expect("ALL_NAMES entries are known"))
+        .collect()
 }

@@ -1,0 +1,31 @@
+//! The parallel experiment harness must produce byte-identical report
+//! text to the serial path, whatever the worker count.
+//!
+//! All thread-count variations live in ONE test because `CAPSTAN_THREADS`
+//! is process-global state.
+
+use capstan_bench::{experiments, Suite};
+
+#[test]
+fn parallel_harness_matches_serial_report_text() {
+    let suite = Suite::small();
+    let run_all = || {
+        let mut text = String::new();
+        text.push_str(&experiments::table4());
+        text.push_str(&experiments::table10(&suite));
+        text.push_str(&experiments::fig4());
+        text
+    };
+
+    std::env::set_var("CAPSTAN_THREADS", "1");
+    let serial = run_all();
+    for threads in ["2", "5", "13"] {
+        std::env::set_var("CAPSTAN_THREADS", threads);
+        let parallel = run_all();
+        assert_eq!(
+            parallel, serial,
+            "report text diverged with CAPSTAN_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("CAPSTAN_THREADS");
+}

@@ -1,0 +1,44 @@
+//! Property tests: `par_map` at any thread count is observably identical
+//! to a serial `iter().map().collect()`, for arbitrary inputs and
+//! non-uniform per-item work.
+
+use capstan_par::{par_map, par_map_threads};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_map_matches_serial_map(
+        items in prop::collection::vec(any::<u64>(), 0..200),
+        threads in 1usize..9,
+    ) {
+        // Skewed work: item cost varies with value, exercising the
+        // dynamic work-stealing cursor.
+        let f = |&n: &u64| -> u64 {
+            let spin = (n % 97) as usize;
+            (0..spin).fold(n, |a, b| a.wrapping_mul(31).wrapping_add(b as u64))
+        };
+        let serial: Vec<u64> = items.iter().map(f).collect();
+        prop_assert_eq!(par_map_threads(&items, threads, f), serial.clone());
+        prop_assert_eq!(par_map(&items, f), serial);
+    }
+
+    #[test]
+    fn order_is_input_order_not_completion_order(
+        sizes in prop::collection::vec(0usize..2000, 1..40),
+    ) {
+        // Heavier items finish later; results must still land at their
+        // input index.
+        let out = par_map_threads(&sizes, 6, |&n| {
+            let mut acc = 0usize;
+            for i in 0..n {
+                acc = acc.wrapping_add(i * i);
+            }
+            (n, acc)
+        });
+        for (i, (n, _)) in out.iter().enumerate() {
+            prop_assert_eq!(*n, sizes[i]);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+#![deny(missing_docs)]
+
+//! Offline shim for the subset of the `criterion` crate API this
+//! workspace's benches use (`Criterion`, benchmark groups, `Bencher`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros).
+//!
+//! The build container has no crates.io access, so this in-tree package
+//! stands in for the real crate. It is a *functional* harness, not a
+//! statistical one: each benchmark is warmed up once and then timed for
+//! `sample_size` iterations, reporting the mean and best wall time per
+//! iteration. Output is a single line per benchmark, suitable for
+//! eyeballing regressions and for machine scraping.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one parameterized benchmark (upstream: `BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A benchmark id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs and times one benchmark body (upstream: `Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    pub mean_ns: f64,
+    /// Best nanoseconds per iteration of the last `iter` call.
+    pub best_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, recording mean/best wall time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut total = 0.0f64;
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let ns = start.elapsed().as_nanos() as f64;
+            total += ns;
+            best = best.min(ns);
+        }
+        self.mean_ns = total / self.samples as f64;
+        self.best_ns = best;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        mean_ns: 0.0,
+        best_ns: 0.0,
+    };
+    f(&mut bencher);
+    println!(
+        "bench: {label:<48} mean {:>12}  best {:>12}  ({samples} samples)",
+        human(bencher.mean_ns),
+        human(bencher.best_ns),
+    );
+}
+
+/// A named group of related benchmarks (upstream: `BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut f);
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (no-op; upstream emits summary statistics here).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver (upstream: `Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.samples,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&id.to_string(), self.samples, &mut f);
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        (1..=n).fold(1u64, |a, b| a.wrapping_mul(b) | b)
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("fib", |b| b.iter(|| fib(black_box(1000))));
+        group.bench_with_input(BenchmarkId::new("fib", 500), &500u64, |b, &n| {
+            b.iter(|| fib(n))
+        });
+        group.finish();
+        c.bench_function("loose", |b| b.iter(|| fib(100)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        benches(&mut c);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,447 @@
+#![deny(missing_docs)]
+
+//! Offline shim for the subset of the `proptest` crate API this
+//! workspace uses.
+//!
+//! The build container has no crates.io access, so this in-tree package
+//! provides a compatible implementation of the pieces the test suite
+//! relies on: the [`Strategy`] trait with `prop_map`, range/tuple/
+//! collection/sample strategies, `any::<T>()`, the [`proptest!`] macro,
+//! and the `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * no shrinking — a failing case panics with the sampled inputs
+//!   reported via the panic message of the failing assertion;
+//! * sampling is deterministic per `(test name, case index)`, so
+//!   failures always reproduce;
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   returning a `TestCaseError`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Deterministic generator threaded through strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream from a seed (zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed | 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value below `bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f` (upstream: `Strategy::prop_map`).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (self.end - self.start) * (rng.unit() as $t)
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident . $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types with a canonical "anything" strategy (upstream: `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T` (upstream: `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// A collection size specification: a fixed size or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo + 1 {
+            self.lo
+        } else {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end.max(r.start + 1),
+        }
+    }
+}
+
+/// Collection strategies (upstream: `proptest::collection`).
+pub mod collection {
+    use super::{BTreeSet, SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Samples `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Samples sets by drawing up to `size` elements (duplicates merge,
+    /// matching upstream's generation-attempt semantics).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (upstream: `proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Chooses one of `options` uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Per-test configuration (upstream: `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a over a test name, used to derive a per-test base seed.
+pub fn seed_for_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Everything a test module needs (upstream: `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+
+    /// Namespaced strategy modules (upstream re-exports these as `prop`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let base = $crate::seed_for_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases as u64 {
+                    let mut rng = $crate::TestRng::new(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    $(let $pat = $crate::Strategy::sample(&{ $strat }, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{seed_for_name, TestRng};
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..500 {
+            let v = Strategy::sample(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::sample(&(-4.0f32..4.0), &mut rng);
+            assert!((-4.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let v = Strategy::sample(&prop::collection::vec(any::<bool>(), 16), &mut rng);
+            assert_eq!(v.len(), 16);
+            let s = Strategy::sample(&prop::collection::btree_set(0u32..50, 1..10), &mut rng);
+            assert!(s.len() < 10);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(seed_for_name("a::b"), seed_for_name("a::b"));
+        assert_ne!(seed_for_name("a::b"), seed_for_name("a::c"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_expands_and_runs(
+            xs in prop::collection::vec(0u32..100, 1..20),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            let _: bool = flag;
+        }
+
+        #[test]
+        fn prop_map_applies(pair in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair < 20);
+        }
+    }
+}

@@ -209,7 +209,10 @@ impl DramChannel {
     }
 
     /// Advances one cycle, returning bursts completed this cycle.
-    pub fn tick(&mut self) -> Vec<BurstCompletion> {
+    ///
+    /// The slice borrows an internal buffer reused on the next call, so
+    /// the channel's cycle loop performs no per-tick allocation.
+    pub fn tick(&mut self) -> &[BurstCompletion] {
         self.cycle += 1;
         // Random pattern: the channel-level sim is used for scattered AG
         // traffic, so the conservative efficiency applies.
@@ -237,7 +240,7 @@ impl DramChannel {
                 cycle: self.cycle,
             });
         }
-        self.completed.clone()
+        &self.completed
     }
 
     /// Whether any requests are pending.
@@ -315,7 +318,7 @@ mod tests {
         }
         let mut completions = Vec::new();
         for _ in 0..4000 {
-            completions.extend(ch.tick());
+            completions.extend_from_slice(ch.tick());
             if ch.is_idle() {
                 break;
             }

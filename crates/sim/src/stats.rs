@@ -1,5 +1,28 @@
 //! Statistics primitives shared by every unit simulator.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of *cycle-level* simulated cycles (SpMU replays,
+/// throughput drivers, traces), across every engine and thread.
+/// Analytic model totals (`capstan_core::perf::simulate`'s breakdown)
+/// are deliberately excluded — they would double-count the embedded
+/// replays and change units whenever the model changes. Drivers add
+/// their cycle totals once per run (a single atomic add per
+/// measurement, so the per-cycle hot loops stay untouched); the
+/// experiment harness samples the counter around each experiment to
+/// report *simulated cycles per wall second* in `BENCH_core.json`.
+static SIMULATED_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Adds `n` simulated cycles to the process-wide total.
+pub fn record_simulated_cycles(n: u64) {
+    SIMULATED_CYCLES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// The process-wide simulated-cycle total so far.
+pub fn simulated_cycles() -> u64 {
+    SIMULATED_CYCLES.load(Ordering::Relaxed)
+}
+
 /// A monotonically increasing event counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter {

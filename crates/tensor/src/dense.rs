@@ -296,7 +296,7 @@ mod tests {
         let a = DenseVector::from_vec(vec![1.0, 2.0, 3.0]);
         let b = DenseVector::from_vec(vec![4.0, 5.0, 6.0]);
         assert_eq!(a.dot(&b), 32.0);
-        let mut c = a.clone();
+        let mut c = a;
         c.axpy(2.0, &b);
         assert_eq!(c.as_slice(), &[9.0, 12.0, 15.0]);
     }

@@ -1,0 +1,77 @@
+//! One-off capture of golden determinism values (used to pin the
+//! scratch-buffer refactor; see `tests/determinism_golden.rs`).
+
+use capstan::apps::App;
+use capstan::arch::spmu::driver::{measure_random_throughput, run_vectors};
+use capstan::arch::spmu::{AccessVector, OrderingMode, SpmuConfig};
+use capstan::core::config::{CapstanConfig, MemoryKind};
+use capstan::core::perf::simulate;
+use capstan::tensor::gen::Dataset;
+
+fn main() {
+    for (name, ordering) in [
+        ("unordered", OrderingMode::Unordered),
+        ("addr", OrderingMode::AddressOrdered),
+        ("full", OrderingMode::FullyOrdered),
+        ("arb", OrderingMode::Arbitrated),
+    ] {
+        let cfg = SpmuConfig {
+            ordering,
+            ..Default::default()
+        };
+        let r = measure_random_throughput(cfg, 42, 500, 2000);
+        println!(
+            "throughput {name}: util_bits=0x{:016X} requests={} cycles={}",
+            r.bank_utilization.to_bits(),
+            r.requests,
+            r.cycles
+        );
+    }
+    let vectors: Vec<AccessVector> = (0..64)
+        .map(|i| {
+            AccessVector::reads(
+                &(0..16u32)
+                    .map(|l| (i * 97 + l * 13) % 4096)
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let rv = run_vectors(SpmuConfig::default(), &vectors);
+    println!(
+        "run_vectors: util_bits=0x{:016X} requests={} cycles={}",
+        rv.bank_utilization.to_bits(),
+        rv.requests,
+        rv.cycles
+    );
+    for (name, app) in [
+        (
+            "csr_ckt",
+            capstan::apps::spmv::CsrSpmv::new(&Dataset::Ckt11752.generate_scaled(0.04)),
+        ),
+        (
+            "csr_tref",
+            capstan::apps::spmv::CsrSpmv::new(&Dataset::Trefethen20000.generate_scaled(0.04)),
+        ),
+    ] {
+        let wl = app.build(&CapstanConfig::paper_default());
+        for (mem, cfg) in [
+            ("hbm2e", CapstanConfig::new(MemoryKind::Hbm2e)),
+            ("ddr4", CapstanConfig::new(MemoryKind::Ddr4)),
+        ] {
+            let r = simulate(&wl, &cfg);
+            println!(
+                "simulate {name}/{mem}: cycles={} active={} scan={} ls={} vl={} imb={} net={} sram={} dram={} util_bits=0x{:016X}",
+                r.cycles,
+                r.breakdown.active,
+                r.breakdown.scan,
+                r.breakdown.load_store,
+                r.breakdown.vector_length,
+                r.breakdown.imbalance,
+                r.breakdown.network,
+                r.breakdown.sram,
+                r.breakdown.dram,
+                r.sram_bank_utilization.to_bits()
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Wall-clock timing of the SpMU hot loop (used for before/after numbers
+//! in perf work; see also `crates/bench/benches/spmu.rs`).
+
+use capstan::arch::spmu::driver::{measure_random_throughput, run_vectors};
+use capstan::arch::spmu::{AccessVector, OrderingMode, SpmuConfig};
+use std::time::Instant;
+
+fn main() {
+    for (name, ordering) in [
+        ("unordered", OrderingMode::Unordered),
+        ("addr-ordered", OrderingMode::AddressOrdered),
+        ("arbitrated", OrderingMode::Arbitrated),
+    ] {
+        let cfg = SpmuConfig {
+            ordering,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let r = measure_random_throughput(cfg, 42, 1_000, 200_000);
+        let elapsed = start.elapsed().as_secs_f64();
+        println!(
+            "measure_random_throughput {name:<14} 201k cycles in {elapsed:.3}s  ({:.1} Mcycles/s, util {:.3})",
+            0.201 / elapsed,
+            r.bank_utilization
+        );
+    }
+    let vectors: Vec<AccessVector> = (0..50_000)
+        .map(|i| {
+            AccessVector::reads(
+                &(0..16u32)
+                    .map(|l| (i * 97 + l * 13) % 65_536)
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let start = Instant::now();
+    let r = run_vectors(SpmuConfig::default(), &vectors);
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "run_vectors 50k vectors: {} cycles in {elapsed:.3}s ({:.1} Mcycles/s)",
+        r.cycles,
+        r.cycles as f64 / 1e6 / elapsed
+    );
+}

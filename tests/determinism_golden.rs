@@ -1,0 +1,133 @@
+//! Golden determinism regression tests.
+//!
+//! These values were captured from the pre-refactor simulator (the naive
+//! allocate-per-tick loop) via `examples/golden_capture.rs`. The
+//! scratch-buffer refactor of `Spmu::tick` must be a pure performance
+//! change: every measurement here has to stay **bit-identical** —
+//! utilizations are compared by `f64::to_bits`, not tolerance.
+
+use capstan::apps::App;
+use capstan::arch::spmu::driver::{measure_random_throughput, run_vectors};
+use capstan::arch::spmu::{AccessVector, OrderingMode, SpmuConfig};
+use capstan::core::config::{CapstanConfig, MemoryKind};
+use capstan::core::perf::simulate;
+use capstan::tensor::gen::Dataset;
+
+#[test]
+fn random_throughput_is_bit_identical_to_golden() {
+    let golden: &[(OrderingMode, u64, u64)] = &[
+        (OrderingMode::Unordered, 0x3FE9AE5604189375, 25_680),
+        (OrderingMode::AddressOrdered, 0x3FD3E9FBE76C8B44, 9_936),
+        (OrderingMode::FullyOrdered, 0x3FD030A3D70A3D71, 8_080),
+        (OrderingMode::Arbitrated, 0x3FD4C395810624DD, 10_384),
+    ];
+    for &(ordering, util_bits, requests) in golden {
+        let cfg = SpmuConfig {
+            ordering,
+            ..Default::default()
+        };
+        let r = measure_random_throughput(cfg, 42, 500, 2000);
+        assert_eq!(
+            r.bank_utilization.to_bits(),
+            util_bits,
+            "{ordering:?} utilization drifted: {:.6}",
+            r.bank_utilization
+        );
+        assert_eq!(r.requests, requests, "{ordering:?} request count drifted");
+        assert_eq!(r.cycles, 2000);
+    }
+}
+
+#[test]
+fn run_vectors_is_bit_identical_to_golden() {
+    let vectors: Vec<AccessVector> = (0..64)
+        .map(|i| {
+            AccessVector::reads(
+                &(0..16u32)
+                    .map(|l| (i * 97 + l * 13) % 4096)
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let r = run_vectors(SpmuConfig::default(), &vectors);
+    assert_eq!(r.bank_utilization.to_bits(), 0x3FE745D1745D1746);
+    assert_eq!(r.requests, 1024);
+    assert_eq!(r.cycles, 88);
+}
+
+#[test]
+fn perf_simulate_is_bit_identical_to_golden() {
+    // (dataset, memory, cycles, [active, scan, ls, vl, imb, net, sram, dram], util bits)
+    struct Golden {
+        dataset: Dataset,
+        memory: MemoryKind,
+        cycles: u64,
+        breakdown: [u64; 8],
+        util_bits: u64,
+    }
+    let golden = [
+        Golden {
+            dataset: Dataset::Ckt11752,
+            memory: MemoryKind::Hbm2e,
+            cycles: 122,
+            breakdown: [26, 0, 38, 0, 5, 0, 4, 49],
+            util_bits: 0x3FD7267E366968C1,
+        },
+        Golden {
+            dataset: Dataset::Ckt11752,
+            memory: MemoryKind::Ddr4,
+            cycles: 3226,
+            breakdown: [26, 0, 38, 0, 5, 0, 4, 3153],
+            util_bits: 0x3FD7267E366968C1,
+        },
+        Golden {
+            dataset: Dataset::Trefethen20000,
+            memory: MemoryKind::Hbm2e,
+            cycles: 120,
+            breakdown: [29, 0, 34, 0, 0, 0, 3, 54],
+            util_bits: 0x3FE030A8C81C123F,
+        },
+        Golden {
+            dataset: Dataset::Trefethen20000,
+            memory: MemoryKind::Ddr4,
+            cycles: 3162,
+            breakdown: [29, 0, 34, 0, 0, 0, 3, 3096],
+            util_bits: 0x3FE030A8C81C123F,
+        },
+    ];
+    for g in golden {
+        let app = capstan::apps::spmv::CsrSpmv::new(&g.dataset.generate_scaled(0.04));
+        let wl = app.build(&CapstanConfig::paper_default());
+        let r = simulate(&wl, &CapstanConfig::new(g.memory));
+        let b = r.breakdown;
+        assert_eq!(
+            (
+                r.cycles,
+                [
+                    b.active,
+                    b.scan,
+                    b.load_store,
+                    b.vector_length,
+                    b.imbalance,
+                    b.network,
+                    b.sram,
+                    b.dram
+                ]
+            ),
+            (g.cycles, g.breakdown),
+            "{:?}/{:?} drifted",
+            g.dataset,
+            g.memory
+        );
+        assert_eq!(r.sram_bank_utilization.to_bits(), g.util_bits);
+    }
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    // Same seed, same everything: the engine must be a pure function.
+    let a = measure_random_throughput(SpmuConfig::default(), 7, 300, 1200);
+    let b = measure_random_throughput(SpmuConfig::default(), 7, 300, 1200);
+    assert_eq!(a.bank_utilization.to_bits(), b.bank_utilization.to_bits());
+    assert_eq!(a.requests, b.requests);
+}

@@ -81,14 +81,14 @@ proptest! {
             })
             .collect();
         let mut spmu = Spmu::new(SpmuConfig::default());
-        let mut pending: Option<AccessVector> = None;
+        let mut pending: Option<&AccessVector> = None;
         let mut iter = vectors.iter();
         for _ in 0..10_000 {
             if pending.is_none() {
-                pending = iter.next().cloned();
+                pending = iter.next();
             }
             if let Some(v) = pending.take() {
-                if !spmu.try_enqueue(v.clone()) {
+                if !spmu.try_enqueue(v) {
                     pending = Some(v);
                 }
             }
@@ -248,19 +248,19 @@ proptest! {
                 addrs.chunks(16).map(AccessVector::reads).collect();
             let mut out: Vec<(u64, Vec<Option<f32>>)> = Vec::new();
             let mut iter = vectors.iter();
-            let mut pending: Option<AccessVector> = None;
+            let mut pending: Option<&AccessVector> = None;
             for _ in 0..10_000 {
                 if pending.is_none() {
-                    pending = iter.next().cloned();
+                    pending = iter.next();
                 }
                 let exhausted = pending.is_none();
                 if let Some(v) = pending.take() {
-                    if !spmu.try_enqueue(v.clone()) {
+                    if !spmu.try_enqueue(v) {
                         pending = Some(v);
                     }
                 }
-                for c in spmu.tick() {
-                    out.push((c.id, c.results));
+                if let Some(c) = spmu.tick() {
+                    out.push((c.id, c.results.clone()));
                 }
                 if exhausted && pending.is_none() && spmu.is_idle() {
                     break;
