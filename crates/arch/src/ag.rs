@@ -10,14 +10,31 @@
 //! the write returns. To parallelize DRAM accesses, the shuffle network
 //! ensures that each AG is responsible for a mutually-exclusive memory
 //! region."
+//!
+//! # Implementation notes
+//!
+//! Burst tracking is **slab-indexed**, not hash-based: every tracked
+//! burst occupies a slot in a free-list-recycled slab, and a dense
+//! `burst id -> slot` table (one `u32` per burst in the AG's region)
+//! replaces the former `HashMap` trio (`bursts`/`waiting`/`inflight`).
+//! Waiter lists live inline in each slot and keep their capacity across
+//! slot recycling, channel tags are indices into a second slab, and
+//! [`AddressGenerator::tick`] returns completions as a slice into a
+//! reused buffer (mirroring `DramChannel::tick`). The result is **zero
+//! steady-state heap allocations** in the tick loop — proven by the
+//! counting-allocator test in `crates/arch/tests/alloc_free.rs` — which
+//! matters because DRAM-bound workloads (SpMV, SpMSpM) spend most of
+//! their simulated time in exactly this loop.
 
 use crate::spmu::RmwOp;
 use capstan_sim::dram::{BurstRequest, DramChannel, DramModel};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// Words per DRAM burst (64 B of 32-bit words).
 pub const BURST_WORDS: usize = 16;
+
+/// Sentinel for "burst not tracked" in the dense burst-id index.
+const NO_SLOT: u32 = u32::MAX;
 
 /// One atomic DRAM request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,12 +62,44 @@ pub struct DramAccessResult {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BurstState {
+    /// Slot is on the free list.
+    Free,
+    /// Fetch could not be pushed (channel backpressure); re-issued on a
+    /// later tick from the retry list.
+    NeedsFetch,
     /// Fetch in flight.
     Fetching,
     /// Resident and usable.
     Open { dirty: bool },
     /// Write-back in flight; reads must not race it.
     WritingBack,
+}
+
+/// Sentinel for "end of waiter list" in the pooled waiter arena.
+const NO_NODE: u32 = u32::MAX;
+
+/// One slab entry tracking a burst. Waiters queued behind an in-flight
+/// transfer live as an inline linked list (`waiters_head..waiters_tail`)
+/// of nodes in the AG's shared waiter arena, so the per-slot footprint
+/// is constant and the arena's single high-water mark bounds steady-
+/// state allocation.
+#[derive(Debug, Clone, Copy)]
+struct BurstSlot {
+    /// Burst id this slot currently tracks.
+    burst: u64,
+    state: BurstState,
+    /// First queued waiter (arena index), `NO_NODE` when empty.
+    waiters_head: u32,
+    /// Last queued waiter (arena index), `NO_NODE` when empty.
+    waiters_tail: u32,
+}
+
+/// One pooled waiter: a queued access plus the next node in its burst's
+/// list.
+#[derive(Debug, Clone, Copy)]
+struct WaiterNode {
+    access: DramAccess,
+    next: u32,
 }
 
 /// Cycle-level model of one DRAM address generator with an open-burst
@@ -60,18 +109,33 @@ pub struct AddressGenerator {
     /// Backing memory (the AG's exclusive region), word addressed.
     memory: Vec<f32>,
     channel: DramChannel,
-    /// Burst id -> state.
-    bursts: HashMap<u64, BurstState>,
-    /// Requests waiting on each burst.
-    waiting: HashMap<u64, Vec<DramAccess>>,
-    /// Bursts in residence order (FIFO eviction).
-    resident: VecDeque<u64>,
+    /// Slab of tracked bursts (free-list recycled).
+    slots: Vec<BurstSlot>,
+    slot_free: Vec<u32>,
+    /// Dense burst id -> slot index (`NO_SLOT` when untracked). Sized to
+    /// the AG's region, which is private and bounded by construction.
+    slot_of: Vec<u32>,
+    /// Slots whose fetch hit channel backpressure, in submission order.
+    retry: Vec<u32>,
+    retry_scratch: Vec<u32>,
+    /// Open slots in residence order (FIFO eviction).
+    resident: VecDeque<u32>,
     /// Maximum simultaneously open bursts.
     capacity: usize,
-    /// Channel tag -> burst id for in-flight fetches/writebacks.
-    inflight: HashMap<u64, (u64, bool)>, // (burst, is_writeback)
-    next_channel_tag: u64,
+    /// Channel-tag slab: tag -> (burst slot, is_writeback).
+    inflight: Vec<(u32, bool)>,
+    inflight_free: Vec<u32>,
+    /// Pooled arena backing every slot's waiter list.
+    waiter_pool: Vec<WaiterNode>,
+    node_free: Vec<u32>,
+    /// Slots not in the `Open`/`Free` states (O(1) idle check).
+    transitioning: usize,
+    /// Total queued waiter accesses across all slots.
+    waiting_total: usize,
+    /// Results not yet due (completion cycle in the future).
     results: Vec<DramAccessResult>,
+    /// Results released by the current tick; `tick` returns a borrow.
+    done: Vec<DramAccessResult>,
     /// Reusable copy of the channel's per-tick completions (lets the
     /// completion handler mutate `self` without borrowing the channel).
     completion_scratch: Vec<capstan_sim::dram::BurstCompletion>,
@@ -79,20 +143,41 @@ pub struct AddressGenerator {
     bursts_written: u64,
 }
 
+/// Depth of the per-AG channel queue. Also the hard bound on in-flight
+/// transfers, so the slot and tag slabs are pre-reserved against it.
+const CHANNEL_QUEUE_DEPTH: usize = 256;
+
 impl AddressGenerator {
     /// Creates an AG over `words` of zeroed memory.
     pub fn new(model: DramModel, words: usize, open_burst_capacity: usize) -> Self {
+        let capacity = open_burst_capacity.max(1);
+        // Simultaneously tracked bursts are bounded by the open set plus
+        // in-flight transfers (absent pathological backpressure), so the
+        // slabs can be pre-reserved; growth past this is still correct,
+        // just no longer expected.
+        let slab_hint = capacity + CHANNEL_QUEUE_DEPTH + 8;
         AddressGenerator {
             memory: vec![0.0; words],
-            channel: DramChannel::new(model, 256),
-            bursts: HashMap::new(),
-            waiting: HashMap::new(),
-            resident: VecDeque::new(),
-            capacity: open_burst_capacity.max(1),
-            inflight: HashMap::new(),
-            next_channel_tag: 0,
+            channel: DramChannel::new(model, CHANNEL_QUEUE_DEPTH),
+            slots: Vec::with_capacity(slab_hint),
+            slot_free: Vec::with_capacity(slab_hint),
+            slot_of: vec![NO_SLOT; words.div_ceil(BURST_WORDS)],
+            retry: Vec::new(),
+            retry_scratch: Vec::new(),
+            resident: VecDeque::with_capacity(capacity + 1),
+            capacity,
+            inflight: Vec::with_capacity(CHANNEL_QUEUE_DEPTH + 1),
+            inflight_free: Vec::with_capacity(CHANNEL_QUEUE_DEPTH + 1),
+            waiter_pool: Vec::new(),
+            node_free: Vec::new(),
+            transitioning: 0,
+            waiting_total: 0,
             results: Vec::new(),
-            completion_scratch: Vec::new(),
+            done: Vec::new(),
+            // The channel can complete at most a queue's worth of bursts
+            // per tick; pre-sizing the mirror buffer to that hard bound
+            // keeps the completion copy allocation-free from cycle one.
+            completion_scratch: Vec::with_capacity(CHANNEL_QUEUE_DEPTH),
             bursts_fetched: 0,
             bursts_written: 0,
         }
@@ -125,11 +210,92 @@ impl AddressGenerator {
 
     /// Whether all work has drained.
     pub fn is_idle(&self) -> bool {
-        self.bursts
-            .values()
-            .all(|s| matches!(s, BurstState::Open { .. }))
-            && self.waiting.values().all(Vec::is_empty)
-            && self.channel.is_idle()
+        self.transitioning == 0 && self.waiting_total == 0 && self.channel.is_idle()
+    }
+
+    /// Allocates a slot for `burst` (reusing a recycled one when
+    /// available) and records it in the dense index.
+    fn alloc_slot(&mut self, burst: u64, state: BurstState) -> u32 {
+        debug_assert!(!matches!(state, BurstState::Free));
+        self.transitioning += usize::from(!matches!(state, BurstState::Open { .. }));
+        let idx = if let Some(idx) = self.slot_free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(matches!(slot.state, BurstState::Free));
+            debug_assert!(slot.waiters_head == NO_NODE);
+            slot.burst = burst;
+            slot.state = state;
+            idx
+        } else {
+            self.slots.push(BurstSlot {
+                burst,
+                state,
+                waiters_head: NO_NODE,
+                waiters_tail: NO_NODE,
+            });
+            // Companion buffers that can hold one entry per slot grow in
+            // lockstep, so later free/flush bursts stay off the heap.
+            Self::reserve_companion(&mut self.slot_free, self.slots.len());
+            Self::reserve_companion(&mut self.retry, self.slots.len());
+            Self::reserve_companion(&mut self.retry_scratch, self.slots.len());
+            (self.slots.len() - 1) as u32
+        };
+        self.slot_of[burst as usize] = idx;
+        idx
+    }
+
+    /// Returns a slot to the free list and clears the dense index.
+    fn free_slot(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        debug_assert!(slot.waiters_head == NO_NODE);
+        self.transitioning -= usize::from(!matches!(
+            slot.state,
+            BurstState::Open { .. } | BurstState::Free
+        ));
+        slot.state = BurstState::Free;
+        self.slot_of[slot.burst as usize] = NO_SLOT;
+        self.slot_free.push(idx);
+    }
+
+    /// Grows `buf`'s capacity to at least `cap` (no-op once converged).
+    fn reserve_companion(buf: &mut Vec<u32>, cap: usize) {
+        if buf.capacity() < cap {
+            buf.reserve(cap - buf.len());
+        }
+    }
+
+    /// Appends an access to a slot's waiter list, drawing the node from
+    /// the pooled arena.
+    fn push_waiter(&mut self, idx: u32, access: DramAccess) {
+        let node = WaiterNode {
+            access,
+            next: NO_NODE,
+        };
+        let node_idx = if let Some(i) = self.node_free.pop() {
+            self.waiter_pool[i as usize] = node;
+            i
+        } else {
+            self.waiter_pool.push(node);
+            Self::reserve_companion(&mut self.node_free, self.waiter_pool.len());
+            (self.waiter_pool.len() - 1) as u32
+        };
+        let tail = self.slots[idx as usize].waiters_tail;
+        if tail == NO_NODE {
+            self.slots[idx as usize].waiters_head = node_idx;
+        } else {
+            self.waiter_pool[tail as usize].next = node_idx;
+        }
+        self.slots[idx as usize].waiters_tail = node_idx;
+        self.waiting_total += 1;
+    }
+
+    /// Transitions a slot's state, keeping the `transitioning` count
+    /// (the O(1) idle check) consistent.
+    fn set_state(&mut self, idx: u32, state: BurstState) {
+        let slot = &mut self.slots[idx as usize];
+        let was = !matches!(slot.state, BurstState::Open { .. } | BurstState::Free);
+        let is = !matches!(state, BurstState::Open { .. } | BurstState::Free);
+        slot.state = state;
+        self.transitioning = self.transitioning - usize::from(was) + usize::from(is);
     }
 
     /// Submits one atomic access.
@@ -145,20 +311,24 @@ impl AddressGenerator {
             self.memory.len()
         );
         let burst = access.addr / BURST_WORDS as u64;
-        match self.bursts.get(&burst) {
-            Some(BurstState::Open { .. }) => {
+        let idx = self.slot_of[burst as usize];
+        if idx == NO_SLOT {
+            let idx = self.alloc_slot(burst, BurstState::NeedsFetch);
+            self.push_waiter(idx, access);
+            self.start_fetch(idx);
+            return;
+        }
+        match self.slots[idx as usize].state {
+            BurstState::Open { .. } => {
                 // Execute against the open burst immediately (modeled as
                 // completing next tick).
                 self.execute(access);
             }
-            Some(BurstState::Fetching) | Some(BurstState::WritingBack) => {
+            BurstState::Fetching | BurstState::WritingBack | BurstState::NeedsFetch => {
                 // Reads must not race writes; queue behind the transfer.
-                self.waiting.entry(burst).or_default().push(access);
+                self.push_waiter(idx, access);
             }
-            None => {
-                self.waiting.entry(burst).or_default().push(access);
-                self.start_fetch(burst);
-            }
+            BurstState::Free => unreachable!("indexed slot cannot be free"),
         }
     }
 
@@ -169,8 +339,11 @@ impl AddressGenerator {
         if new != old || access.op.is_update() {
             self.memory[idx] = new;
             let burst = access.addr / BURST_WORDS as u64;
-            if let Some(BurstState::Open { dirty }) = self.bursts.get_mut(&burst) {
-                *dirty = true;
+            let slot = self.slot_of[burst as usize];
+            if slot != NO_SLOT {
+                if let BurstState::Open { ref mut dirty } = self.slots[slot as usize].state {
+                    *dirty = true;
+                }
             }
         }
         self.results.push(DramAccessResult {
@@ -180,11 +353,21 @@ impl AddressGenerator {
         });
     }
 
-    fn start_fetch(&mut self, burst: u64) {
-        let tag = self.next_channel_tag;
-        self.next_channel_tag += 1;
-        self.inflight.insert(tag, (burst, false));
-        self.bursts.insert(burst, BurstState::Fetching);
+    /// Allocates a channel tag from the in-flight slab.
+    fn alloc_tag(&mut self, slot: u32, is_writeback: bool) -> u64 {
+        if let Some(tag) = self.inflight_free.pop() {
+            self.inflight[tag as usize] = (slot, is_writeback);
+            tag as u64
+        } else {
+            self.inflight.push((slot, is_writeback));
+            Self::reserve_companion(&mut self.inflight_free, self.inflight.len());
+            (self.inflight.len() - 1) as u64
+        }
+    }
+
+    fn start_fetch(&mut self, idx: u32) {
+        let burst = self.slots[idx as usize].burst;
+        let tag = self.alloc_tag(idx, false);
         // Backpressure is modeled by the channel's own queue; the AG's
         // region is private so a deep queue is acceptable.
         let req = BurstRequest {
@@ -192,67 +375,85 @@ impl AddressGenerator {
             is_write: false,
             tag,
         };
-        if self.channel.push(req).is_err() {
-            // Retry storage: keep it in waiting and re-issue on tick.
-            self.inflight.remove(&tag);
-            self.bursts.remove(&burst);
-            self.waiting.entry(burst).or_default();
+        if self.channel.push(req).is_ok() {
+            self.set_state(idx, BurstState::Fetching);
+        } else {
+            // Channel full: park the slot and re-issue on a later tick.
+            self.inflight_free.push(tag as u32);
+            self.set_state(idx, BurstState::NeedsFetch);
+            self.retry.push(idx);
         }
     }
 
-    fn start_writeback(&mut self, burst: u64) {
-        let tag = self.next_channel_tag;
-        self.next_channel_tag += 1;
-        self.inflight.insert(tag, (burst, true));
-        self.bursts.insert(burst, BurstState::WritingBack);
-        self.bursts_written += 1;
+    fn start_writeback(&mut self, idx: u32) {
+        let burst = self.slots[idx as usize].burst;
+        let tag = self.alloc_tag(idx, true);
         let req = BurstRequest {
             addr: burst * 64,
             is_write: true,
             tag,
         };
-        if self.channel.push(req).is_err() {
-            // Leave it open; eviction retried next tick.
-            self.inflight.remove(&tag);
-            self.bursts.insert(burst, BurstState::Open { dirty: true });
-            self.bursts_written -= 1;
+        if self.channel.push(req).is_ok() {
+            self.set_state(idx, BurstState::WritingBack);
+            self.bursts_written += 1;
+        } else {
+            // Leave it open (dirty); eviction retried on a later pass.
+            self.inflight_free.push(tag as u32);
+            self.set_state(idx, BurstState::Open { dirty: true });
         }
     }
 
     /// Advances one cycle; returns accesses completed this cycle.
-    pub fn tick(&mut self) -> Vec<DramAccessResult> {
-        // Re-issue any fetches that were dropped due to backpressure.
-        let unfetched: Vec<u64> = self
-            .waiting
-            .iter()
-            .filter(|(b, reqs)| !reqs.is_empty() && !self.bursts.contains_key(*b))
-            .map(|(b, _)| *b)
-            .collect();
-        for burst in unfetched {
-            self.start_fetch(burst);
+    ///
+    /// The slice borrows an internal buffer reused on the next call, so
+    /// the AG's cycle loop performs no per-tick allocation (mirroring
+    /// [`DramChannel::tick`]).
+    pub fn tick(&mut self) -> &[DramAccessResult] {
+        // Re-issue fetches that were dropped due to backpressure.
+        if !self.retry.is_empty() {
+            let mut retry = std::mem::take(&mut self.retry_scratch);
+            retry.clear();
+            std::mem::swap(&mut retry, &mut self.retry);
+            for idx in &retry {
+                if matches!(self.slots[*idx as usize].state, BurstState::NeedsFetch) {
+                    self.start_fetch(*idx);
+                }
+            }
+            self.retry_scratch = retry;
         }
 
         let mut completions = std::mem::take(&mut self.completion_scratch);
         completions.clear();
         completions.extend_from_slice(self.channel.tick());
         for c in &completions {
-            let Some((burst, is_writeback)) = self.inflight.remove(&c.tag) else {
-                continue;
-            };
+            let (idx, is_writeback) = self.inflight[c.tag as usize];
+            self.inflight_free.push(c.tag as u32);
             if is_writeback {
-                self.bursts.remove(&burst);
-                // A read racing this write was held; fetch it back now.
-                if self.waiting.get(&burst).is_some_and(|w| !w.is_empty()) {
-                    self.start_fetch(burst);
+                debug_assert!(matches!(
+                    self.slots[idx as usize].state,
+                    BurstState::WritingBack
+                ));
+                if self.slots[idx as usize].waiters_head == NO_NODE {
+                    self.free_slot(idx);
+                } else {
+                    // A read racing this write was held; fetch it back now.
+                    self.start_fetch(idx);
                 }
             } else {
                 self.bursts_fetched += 1;
-                self.bursts.insert(burst, BurstState::Open { dirty: false });
-                self.resident.push_back(burst);
-                if let Some(waiters) = self.waiting.remove(&burst) {
-                    for access in waiters {
-                        self.execute(access);
-                    }
+                self.set_state(idx, BurstState::Open { dirty: false });
+                self.resident.push_back(idx);
+                // Execute the held accesses in arrival order, returning
+                // each node to the pooled arena as it drains.
+                let mut cur = self.slots[idx as usize].waiters_head;
+                self.slots[idx as usize].waiters_head = NO_NODE;
+                self.slots[idx as usize].waiters_tail = NO_NODE;
+                while cur != NO_NODE {
+                    let node = self.waiter_pool[cur as usize];
+                    self.node_free.push(cur);
+                    self.waiting_total -= 1;
+                    self.execute(node.access);
+                    cur = node.next;
                 }
                 self.maybe_evict();
             }
@@ -260,22 +461,27 @@ impl AddressGenerator {
         self.completion_scratch = completions;
 
         let now = self.channel.cycle();
-        let (done, pending): (Vec<_>, Vec<_>) =
-            self.results.drain(..).partition(|r| r.cycle <= now);
-        self.results = pending;
-        done
+        self.done.clear();
+        let done = &mut self.done;
+        self.results.retain(|r| {
+            if r.cycle <= now {
+                done.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        &self.done
     }
 
     fn maybe_evict(&mut self) {
         while self.resident.len() > self.capacity {
-            let Some(burst) = self.resident.pop_front() else {
+            let Some(idx) = self.resident.pop_front() else {
                 break;
             };
-            match self.bursts.get(&burst) {
-                Some(BurstState::Open { dirty: true }) => self.start_writeback(burst),
-                Some(BurstState::Open { dirty: false }) => {
-                    self.bursts.remove(&burst);
-                }
+            match self.slots[idx as usize].state {
+                BurstState::Open { dirty: true } => self.start_writeback(idx),
+                BurstState::Open { dirty: false } => self.free_slot(idx),
                 _ => {} // already transitioning
             }
         }
@@ -283,15 +489,20 @@ impl AddressGenerator {
 
     /// Flushes all dirty bursts back to DRAM (end-of-kernel barrier).
     pub fn flush(&mut self) {
-        let dirty: Vec<u64> = self
-            .bursts
-            .iter()
-            .filter(|(_, s)| matches!(s, BurstState::Open { dirty: true }))
-            .map(|(b, _)| *b)
-            .collect();
-        for burst in dirty {
-            self.start_writeback(burst);
+        // `retry_scratch`'s capacity tracks the slab size (see
+        // `alloc_slot`), so collecting every dirty slot cannot allocate.
+        let mut dirty = std::mem::take(&mut self.retry_scratch);
+        dirty.clear();
+        dirty.extend((0..self.slots.len() as u32).filter(|&i| {
+            matches!(
+                self.slots[i as usize].state,
+                BurstState::Open { dirty: true }
+            )
+        }));
+        for idx in &dirty {
+            self.start_writeback(*idx);
         }
+        self.retry_scratch = dirty;
         self.resident.clear();
     }
 }
@@ -304,10 +515,10 @@ mod tests {
     fn run_until_idle(ag: &mut AddressGenerator, budget: u64) -> Vec<DramAccessResult> {
         let mut out = Vec::new();
         for _ in 0..budget {
-            out.extend(ag.tick());
+            out.extend_from_slice(ag.tick());
             if ag.is_idle() && ag.channel.is_idle() {
                 // One extra tick to release pending results.
-                out.extend(ag.tick());
+                out.extend_from_slice(ag.tick());
                 if out
                     .iter()
                     .map(|r| r.tag)
@@ -443,6 +654,35 @@ mod tests {
         for i in 0..8 {
             assert_eq!(ag.peek(i * 100), i as f32);
         }
+    }
+
+    #[test]
+    fn slots_recycle_under_sustained_traffic() {
+        // Stream far more distinct bursts than the open capacity: the slab
+        // must stay bounded by the in-flight window, not the burst count.
+        let mut ag = AddressGenerator::new(DramModel::new(MemoryKind::Hbm2e), 1 << 12, 2);
+        for round in 0..64u64 {
+            for b in 0..4u64 {
+                ag.submit(DramAccess {
+                    addr: (round * 4 + b) % 256 * BURST_WORDS as u64,
+                    op: RmwOp::AddF,
+                    operand: 1.0,
+                    tag: round * 4 + b,
+                });
+            }
+            for _ in 0..400 {
+                ag.tick();
+                if ag.is_idle() {
+                    break;
+                }
+            }
+        }
+        run_until_idle(&mut ag, 100_000);
+        assert!(
+            ag.slots.len() <= 16,
+            "slab grew to {} slots; recycling is broken",
+            ag.slots.len()
+        );
     }
 
     #[test]

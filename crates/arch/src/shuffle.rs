@@ -165,6 +165,113 @@ pub struct RouteResult {
     pub bypassed: u64,
 }
 
+/// A bump arena of lane-buffers. Slots keep their capacity across
+/// [`VecArena::reset`], so steady-state allocation count is zero once
+/// the arena reaches its high-water mark.
+#[derive(Debug, Default)]
+struct VecArena {
+    slots: Vec<ShuffleVector>,
+    used: usize,
+}
+
+impl VecArena {
+    fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Hands out the next slot, cleared and sized to `lanes`.
+    fn alloc(&mut self, lanes: usize) -> u32 {
+        if self.used == self.slots.len() {
+            self.slots.push(Vec::new());
+        }
+        let v = &mut self.slots[self.used];
+        v.clear();
+        v.resize(lanes, None);
+        self.used += 1;
+        (self.used - 1) as u32
+    }
+
+    fn get(&self, idx: u32) -> &ShuffleVector {
+        &self.slots[idx as usize]
+    }
+}
+
+/// Reusable working memory for [`ButterflyNetwork::route_ref`].
+///
+/// Holds two vector arenas (current and next stage), per-link index
+/// lists, merge-unit entry buffers, and the result. All buffers retain
+/// their capacity across calls, so repeated routing through the same
+/// scratch performs **zero steady-state heap allocations** (proven in
+/// `crates/arch/tests/alloc_free.rs`).
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    arena_a: VecArena,
+    arena_b: VecArena,
+    /// Per-link vector-index lists for the current stage.
+    links: Vec<Vec<u32>>,
+    /// Per-link vector-index lists being built for the next stage.
+    next: Vec<Vec<u32>>,
+    /// Merge-unit gather buffer (entries sorted by source lane).
+    entries: Vec<ShuffleEntry>,
+    /// Entries spilled past the current output vector.
+    deferred: Vec<ShuffleEntry>,
+    /// An all-`None` vector standing in for exhausted input streams.
+    empty: ShuffleVector,
+    result: RouteResult,
+}
+
+/// Gathers the entries of `a` and `b` whose destination has `want` in
+/// address bit `bit`, merges them into as few output vectors as the
+/// shift radius allows (appended to `link`), and returns nothing: empty
+/// merges contribute no output vectors, matching `route`'s behavior of
+/// dropping all-`None` stage outputs.
+#[allow(clippy::too_many_arguments)]
+fn merge_filtered_into(
+    a: &ShuffleVector,
+    b: &ShuffleVector,
+    bit: usize,
+    want: u32,
+    lanes: usize,
+    shift: MergeShift,
+    entries: &mut Vec<ShuffleEntry>,
+    deferred: &mut Vec<ShuffleEntry>,
+    arena: &mut VecArena,
+    link: &mut Vec<u32>,
+) {
+    let radius = shift.radius(lanes);
+    entries.clear();
+    for lane in 0..lanes {
+        for side in [a, b] {
+            if let Some(e) = side.get(lane).copied().flatten() {
+                if (e.dest >> bit) & 1 == want {
+                    entries.push(ShuffleEntry { dest: e.dest, lane });
+                }
+            }
+        }
+    }
+    while !entries.is_empty() {
+        let out_idx = arena.alloc(lanes);
+        let out = &mut arena.slots[out_idx as usize];
+        deferred.clear();
+        let mut next_free = 0usize;
+        for e in entries.iter() {
+            let lo = e.lane.saturating_sub(radius).max(next_free);
+            let hi = (e.lane + radius).min(lanes - 1);
+            if lo <= hi {
+                out[lo] = Some(ShuffleEntry {
+                    dest: e.dest,
+                    lane: lo,
+                });
+                next_free = lo + 1;
+            } else {
+                deferred.push(*e);
+            }
+        }
+        link.push(out_idx);
+        std::mem::swap(entries, deferred);
+    }
+}
+
 /// A butterfly network of merge units (paper Fig. 3d).
 #[derive(Debug, Clone)]
 pub struct ButterflyNetwork {
@@ -201,10 +308,34 @@ impl ButterflyNetwork {
     /// Entries destined for their own source port use the bypass path
     /// (paper §3.2) and do not load the network.
     ///
+    /// Convenience wrapper over [`ButterflyNetwork::route_ref`] that owns
+    /// a fresh [`RouteScratch`]; hot callers routing repeatedly should
+    /// hold a scratch and call `route_ref` directly.
+    ///
     /// # Panics
     ///
     /// Panics if `streams.len() != ports` or a destination is out of range.
     pub fn route(&self, streams: &[Vec<ShuffleVector>]) -> RouteResult {
+        let refs: Vec<Vec<&ShuffleVector>> = streams.iter().map(|s| s.iter().collect()).collect();
+        let mut scratch = RouteScratch::default();
+        self.route_ref(&refs, &mut scratch).clone()
+    }
+
+    /// Borrow-based routing: identical semantics to
+    /// [`ButterflyNetwork::route`], but inputs are borrowed vectors
+    /// (callers such as the perf engine's `network_excess` no longer
+    /// clone sampled shuffle vectors per tile) and all working memory
+    /// comes from the reusable `scratch`. The returned reference borrows
+    /// `scratch` and is valid until the next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len() != ports` or a destination is out of range.
+    pub fn route_ref<'s>(
+        &self,
+        streams: &[Vec<&ShuffleVector>],
+        scratch: &'s mut RouteScratch,
+    ) -> &'s RouteResult {
         assert_eq!(
             streams.len(),
             self.cfg.ports,
@@ -214,12 +345,30 @@ impl ButterflyNetwork {
         let lanes = self.cfg.lanes;
         let mut bypassed = 0u64;
 
+        let RouteScratch {
+            arena_a,
+            arena_b,
+            links,
+            next,
+            entries,
+            deferred,
+            empty,
+            result,
+        } = scratch;
+        let (mut cur_arena, mut nxt_arena) = (arena_a, arena_b);
+        links.resize_with(ports, Vec::new);
+        next.resize_with(ports, Vec::new);
+        empty.clear();
+        empty.resize(lanes, None);
+
         // Current per-link vector streams; stage s has `ports` links.
-        let mut links: Vec<Vec<ShuffleVector>> = Vec::with_capacity(ports);
+        cur_arena.reset();
         for (src, stream) in streams.iter().enumerate() {
-            let mut filtered = Vec::with_capacity(stream.len());
+            let link = &mut links[src];
+            link.clear();
             for v in stream {
-                let mut kept: ShuffleVector = vec![None; lanes];
+                let kept_idx = cur_arena.alloc(lanes);
+                let kept = &mut cur_arena.slots[kept_idx as usize];
                 for (lane, e) in v.iter().enumerate() {
                     if let Some(e) = e {
                         assert!(
@@ -235,9 +384,8 @@ impl ButterflyNetwork {
                         }
                     }
                 }
-                filtered.push(kept);
+                link.push(kept_idx);
             }
-            links.push(filtered);
         }
 
         let mut bottleneck: u64 = links.iter().map(|s| s.len() as u64).max().unwrap_or(0);
@@ -246,54 +394,57 @@ impl ButterflyNetwork {
         let stages = self.stages();
         for stage in 0..stages {
             let bit = stages - 1 - stage;
-            let mut next: Vec<Vec<ShuffleVector>> = vec![Vec::new(); ports];
+            nxt_arena.reset();
+            for link in next.iter_mut() {
+                link.clear();
+            }
             // Merge units pair links whose ids differ in `bit`.
             for unit in 0..ports / 2 {
                 let low_bits = unit & ((1 << bit) - 1);
                 let high_bits = (unit >> bit) << (bit + 1);
                 let i0 = high_bits | low_bits; // bit = 0
                 let i1 = i0 | (1 << bit); // bit = 1
-                let (s0, s1) = (&links[i0], &links[i1]);
-                let n = s0.len().max(s1.len());
-                let empty: ShuffleVector = vec![None; lanes];
-                let mut out0: Vec<ShuffleVector> = Vec::new();
-                let mut out1: Vec<ShuffleVector> = Vec::new();
+                let n = links[i0].len().max(links[i1].len());
                 for k in 0..n {
-                    let a = s0.get(k).unwrap_or(&empty);
-                    let b = s1.get(k).unwrap_or(&empty);
-                    // Split each input by the tested address bit.
-                    let split = |v: &ShuffleVector, want: u32| -> ShuffleVector {
-                        v.iter()
-                            .map(|e| e.filter(|e| (e.dest >> bit) & 1 == want))
-                            .collect()
-                    };
-                    let (a0, a1) = (split(a, 0), split(a, 1));
-                    let (b0, b1) = (split(b, 0), split(b, 1));
-                    let (m0, _) = merge_vectors(&a0, &b0, lanes, self.cfg.shift);
-                    let (m1, _) = merge_vectors(&a1, &b1, lanes, self.cfg.shift);
-                    out0.extend(m0.into_iter().filter(|v| v.iter().any(Option::is_some)));
-                    out1.extend(m1.into_iter().filter(|v| v.iter().any(Option::is_some)));
+                    let a = links[i0].get(k).map_or(&*empty, |&i| cur_arena.get(i));
+                    let b = links[i1].get(k).map_or(&*empty, |&i| cur_arena.get(i));
+                    // Each merge-unit half keeps the entries whose tested
+                    // address bit matches its side.
+                    for (want, out) in [(0u32, i0), (1u32, i1)] {
+                        let link = &mut next[out];
+                        merge_filtered_into(
+                            a,
+                            b,
+                            bit,
+                            want,
+                            lanes,
+                            self.cfg.shift,
+                            entries,
+                            deferred,
+                            nxt_arena,
+                            link,
+                        );
+                    }
                 }
-                next[i0] = out0;
-                next[i1] = out1;
             }
             bottleneck = bottleneck.max(next.iter().map(|s| s.len() as u64).max().unwrap_or(0));
-            links = next;
+            std::mem::swap(links, next);
+            std::mem::swap(&mut cur_arena, &mut nxt_arena);
         }
 
-        let delivered_vectors: Vec<u64> = links.iter().map(|s| s.len() as u64).collect();
-        let delivered_entries: Vec<u64> = links
-            .iter()
-            .map(|s| s.iter().map(|v| v.iter().flatten().count() as u64).sum())
-            .collect();
-        // Pipeline fill: each stage adds one cycle of latency.
-        let cycles = bottleneck + stages as u64;
-        RouteResult {
-            cycles,
-            delivered_vectors,
-            delivered_entries,
-            bypassed,
-        }
+        result.bypassed = bypassed;
+        result.cycles = bottleneck + stages as u64; // one fill cycle per stage
+        result.delivered_vectors.clear();
+        result
+            .delivered_vectors
+            .extend(links.iter().map(|s| s.len() as u64));
+        result.delivered_entries.clear();
+        result.delivered_entries.extend(links.iter().map(|s| {
+            s.iter()
+                .map(|&i| cur_arena.get(i).iter().flatten().count() as u64)
+                .sum::<u64>()
+        }));
+        result
     }
 }
 

@@ -880,9 +880,9 @@ impl Spmu {
 /// (address-ordered admission, §3.1.2).
 ///
 /// This is the allocating *reference implementation*; the hot path uses
-/// [`Spmu::split_into_staging`], which writes the parts directly into
-/// recycled staging slots. The two must stay behaviourally identical
-/// (see the `split_same_address_helper` test).
+/// the private `Spmu::split_into_staging`, which writes the parts
+/// directly into recycled staging slots. The two must stay behaviourally
+/// identical (see the `split_same_address_helper` test).
 pub fn split_same_address(vector: &AccessVector) -> Vec<AccessVector> {
     let mut parts: Vec<AccessVector> = Vec::new();
     for (i, lane) in vector.lanes.iter().enumerate() {

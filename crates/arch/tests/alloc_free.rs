@@ -1,18 +1,29 @@
-//! Proves `Spmu::tick` performs **zero heap allocations in steady
-//! state**, for every issue mode, using a counting global allocator.
+//! Proves the simulation hot loops perform **zero heap allocations in
+//! steady state**, for every issue mode, using a counting global
+//! allocator:
 //!
-//! This is the acceptance gate for the scratch-buffer refactor: the
-//! naive loop allocated several `Vec`s per tick (`finished_addrs`,
-//! allocator masks/grants, per-entry lane states, completion results),
-//! which this harness would count in the tens of thousands. With the
-//! `TickScratch` + buffer-pool design the count must be exactly zero
-//! once the pools reach their high-water mark.
+//! * `Spmu::tick` — the scratch-buffer refactor's acceptance gate: the
+//!   naive loop allocated several `Vec`s per tick (`finished_addrs`,
+//!   allocator masks/grants, per-entry lane states, completion results),
+//!   which this harness would count in the tens of thousands. With the
+//!   `TickScratch` + buffer-pool design the count must be exactly zero
+//!   once the pools reach their high-water mark.
+//! * `AddressGenerator::tick` — the slab-indexed burst table must not
+//!   touch the heap once slots, waiter lists, and result buffers reach
+//!   their high-water mark, even under eviction/writeback pressure.
+//! * `ButterflyNetwork::route_ref` — repeated routing through one
+//!   `RouteScratch` must reuse its arenas for every merge-shift mode.
 //!
-//! The test lives in its own integration-test binary because a
+//! The tests live in their own integration-test binary because a
 //! `#[global_allocator]` is process-wide.
 
+use capstan_arch::ag::{AddressGenerator, DramAccess, BURST_WORDS};
+use capstan_arch::shuffle::{
+    ButterflyNetwork, MergeShift, RouteScratch, ShuffleConfig, ShuffleEntry, ShuffleVector,
+};
 use capstan_arch::spmu::driver::TraceRng;
 use capstan_arch::spmu::{AccessVector, LaneRequest, OrderingMode, RmwOp, Spmu, SpmuConfig};
+use capstan_sim::dram::{DramModel, MemoryKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -95,6 +106,170 @@ fn steady_state_tick_is_allocation_free() {
             "{ordering:?}: {during} heap allocations in 10k steady-state cycles"
         );
     }
+}
+
+/// Drives `ag` with a mixed-op random stream for `ticks` cycles. Low
+/// open-burst capacity keeps evictions, writebacks, and
+/// read-after-writeback holds continuously active, so every state
+/// transition of the slab is exercised.
+fn drive_ag(ag: &mut AddressGenerator, rng: &mut TraceRng, ticks: u64, submitted: &mut u64) {
+    for _ in 0..ticks {
+        if rng.below(2) == 0 {
+            let addr = rng.below(4096);
+            let op = match rng.below(6) {
+                0 => RmwOp::Read,
+                1 => RmwOp::AddF,
+                2 => RmwOp::Write,
+                3 => RmwOp::MinReportChanged,
+                4 => RmwOp::TestAndSet,
+                _ => RmwOp::SubF,
+            };
+            ag.submit(DramAccess {
+                addr,
+                op,
+                operand: rng.below(100) as f32,
+                tag: *submitted,
+            });
+            *submitted += 1;
+        }
+        let _ = ag.tick();
+    }
+}
+
+#[test]
+fn ag_steady_state_tick_is_allocation_free() {
+    // Sweep open-burst capacities: 1 maximizes writeback/refetch churn,
+    // larger values exercise the resident FIFO and clean evictions.
+    for capacity in [1, 2, 8] {
+        let mut ag = AddressGenerator::new(DramModel::new(MemoryKind::Hbm2e), 4096, capacity);
+        let mut rng = TraceRng::new(0xA6_0000 + capacity as u64);
+        let mut submitted = 0u64;
+        // Warm-up: slab, waiter lists, retry/result buffers, and the
+        // completion scratch grow to their high-water mark here. The
+        // per-slot waiter-list maxima are reached stochastically, so the
+        // warm-up must be long relative to the measurement window; the
+        // deterministic RNG makes the resulting count exact, not flaky.
+        drive_ag(&mut ag, &mut rng, 40_000, &mut submitted);
+
+        let before = allocations();
+        drive_ag(&mut ag, &mut rng, 10_000, &mut submitted);
+        let during = allocations() - before;
+        assert_eq!(
+            during, 0,
+            "capacity {capacity}: {during} heap allocations in 10k steady-state AG cycles"
+        );
+        assert!(
+            ag.bursts_written() > 0,
+            "workload must exercise the writeback path"
+        );
+    }
+}
+
+#[test]
+fn ag_flush_after_warmup_is_allocation_free() {
+    let mut ag = AddressGenerator::new(DramModel::new(MemoryKind::Hbm2e), 1 << 12, 4);
+    let mut rng = TraceRng::new(0xF1_005);
+    let mut submitted = 0u64;
+    drive_ag(&mut ag, &mut rng, 40_000, &mut submitted);
+    // One flush/drain round trip warms the flush scratch.
+    ag.flush();
+    drive_ag(&mut ag, &mut rng, 2_000, &mut submitted);
+
+    let before = allocations();
+    ag.flush();
+    for _ in 0..10_000 {
+        let _ = ag.tick();
+        if ag.is_idle() {
+            break;
+        }
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "flush + drain allocated after warm-up"
+    );
+}
+
+/// Deterministic random per-port streams (borrowed by `route_ref`).
+fn shuffle_streams(cfg: &ShuffleConfig, vectors: usize, seed: u64) -> Vec<Vec<ShuffleVector>> {
+    let mut rng = TraceRng::new(seed);
+    (0..cfg.ports)
+        .map(|_| {
+            (0..vectors)
+                .map(|_| {
+                    (0..cfg.lanes)
+                        .map(|l| {
+                            (rng.below(3) == 0).then(|| ShuffleEntry {
+                                dest: rng.below(cfg.ports as u64) as u32,
+                                lane: l,
+                            })
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn route_ref_steady_state_is_allocation_free() {
+    for shift in [MergeShift::None, MergeShift::One, MergeShift::Full] {
+        let cfg = ShuffleConfig {
+            shift,
+            ..Default::default()
+        };
+        let net = ButterflyNetwork::new(cfg);
+        let owned = shuffle_streams(&cfg, 20, 0x0DD_BA11);
+        let streams: Vec<Vec<&ShuffleVector>> = owned.iter().map(|s| s.iter().collect()).collect();
+        let mut scratch = RouteScratch::default();
+        // Warm-up: arenas and link lists grow to their high-water mark.
+        let golden = net.route_ref(&streams, &mut scratch).clone();
+
+        let before = allocations();
+        for _ in 0..50 {
+            let r = net.route_ref(&streams, &mut scratch);
+            assert_eq!(r.cycles, golden.cycles);
+        }
+        let during = allocations() - before;
+        assert_eq!(
+            during,
+            0,
+            "{}: {during} heap allocations in 50 steady-state route_ref calls",
+            shift.name()
+        );
+    }
+}
+
+#[test]
+fn ag_burst_sized_streaming_is_allocation_free() {
+    // The coalescing fast path (all lanes of a burst resident) must stay
+    // allocation-free too: sequential sweeps re-touch open bursts.
+    let mut ag = AddressGenerator::new(DramModel::new(MemoryKind::Ddr4), 4096, 8);
+    let mut tag = 0u64;
+    let sweep = |ag: &mut AddressGenerator, tag: &mut u64| {
+        for burst in 0..16u64 {
+            for w in 0..BURST_WORDS as u64 {
+                ag.submit(DramAccess {
+                    addr: burst * BURST_WORDS as u64 + w,
+                    op: RmwOp::AddF,
+                    operand: 1.0,
+                    tag: *tag,
+                });
+                *tag += 1;
+                let _ = ag.tick();
+            }
+        }
+        for _ in 0..20_000 {
+            let _ = ag.tick();
+            if ag.is_idle() {
+                break;
+            }
+        }
+    };
+    sweep(&mut ag, &mut tag);
+    let before = allocations();
+    sweep(&mut ag, &mut tag);
+    assert_eq!(allocations() - before, 0);
 }
 
 #[test]

@@ -214,3 +214,270 @@ proptest! {
         }
     }
 }
+
+/// Reference model for the address generator: the pre-slab,
+/// `HashMap`-keyed implementation, kept deterministic by sorting the
+/// only iteration whose order the hash map used to decide (flush).
+/// The slab-indexed production AG must produce an identical completion
+/// sequence (tags, values, and cycles, in order) and identical memory.
+mod ag_reference {
+    use capstan_arch::ag::{DramAccess, DramAccessResult, BURST_WORDS};
+    use capstan_sim::dram::{BurstRequest, DramChannel, DramModel};
+    use std::collections::{HashMap, VecDeque};
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum BurstState {
+        Fetching,
+        Open { dirty: bool },
+        WritingBack,
+    }
+
+    pub struct RefAg {
+        memory: Vec<f32>,
+        channel: DramChannel,
+        bursts: HashMap<u64, BurstState>,
+        waiting: HashMap<u64, Vec<DramAccess>>,
+        resident: VecDeque<u64>,
+        capacity: usize,
+        inflight: HashMap<u64, (u64, bool)>,
+        next_tag: u64,
+        results: Vec<DramAccessResult>,
+    }
+
+    impl RefAg {
+        pub fn new(model: DramModel, words: usize, capacity: usize) -> Self {
+            RefAg {
+                memory: vec![0.0; words],
+                channel: DramChannel::new(model, 256),
+                bursts: HashMap::new(),
+                waiting: HashMap::new(),
+                resident: VecDeque::new(),
+                capacity: capacity.max(1),
+                inflight: HashMap::new(),
+                next_tag: 0,
+                results: Vec::new(),
+            }
+        }
+
+        pub fn peek(&self, addr: u64) -> f32 {
+            self.memory[addr as usize]
+        }
+
+        pub fn is_idle(&self) -> bool {
+            self.bursts
+                .values()
+                .all(|s| matches!(s, BurstState::Open { .. }))
+                && self.waiting.values().all(Vec::is_empty)
+                && self.channel.is_idle()
+        }
+
+        pub fn submit(&mut self, access: DramAccess) {
+            let burst = access.addr / BURST_WORDS as u64;
+            match self.bursts.get(&burst) {
+                Some(BurstState::Open { .. }) => self.execute(access),
+                Some(_) => self.waiting.entry(burst).or_default().push(access),
+                None => {
+                    self.waiting.entry(burst).or_default().push(access);
+                    self.start_fetch(burst);
+                }
+            }
+        }
+
+        fn execute(&mut self, access: DramAccess) {
+            let idx = access.addr as usize;
+            let old = self.memory[idx];
+            let (new, returned) = access.op.apply(old, access.operand);
+            if new != old || access.op.is_update() {
+                self.memory[idx] = new;
+                let burst = access.addr / BURST_WORDS as u64;
+                if let Some(BurstState::Open { dirty }) = self.bursts.get_mut(&burst) {
+                    *dirty = true;
+                }
+            }
+            self.results.push(DramAccessResult {
+                tag: access.tag,
+                value: returned,
+                cycle: self.channel.cycle() + 1,
+            });
+        }
+
+        fn start_fetch(&mut self, burst: u64) {
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            self.inflight.insert(tag, (burst, false));
+            self.bursts.insert(burst, BurstState::Fetching);
+            let req = BurstRequest {
+                addr: burst * 64,
+                is_write: false,
+                tag,
+            };
+            if self.channel.push(req).is_err() {
+                self.inflight.remove(&tag);
+                self.bursts.remove(&burst);
+                self.waiting.entry(burst).or_default();
+            }
+        }
+
+        fn start_writeback(&mut self, burst: u64) {
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            self.inflight.insert(tag, (burst, true));
+            self.bursts.insert(burst, BurstState::WritingBack);
+            let req = BurstRequest {
+                addr: burst * 64,
+                is_write: true,
+                tag,
+            };
+            if self.channel.push(req).is_err() {
+                self.inflight.remove(&tag);
+                self.bursts.insert(burst, BurstState::Open { dirty: true });
+            }
+        }
+
+        pub fn tick(&mut self) -> Vec<DramAccessResult> {
+            let mut unfetched: Vec<u64> = self
+                .waiting
+                .iter()
+                .filter(|(b, reqs)| !reqs.is_empty() && !self.bursts.contains_key(*b))
+                .map(|(b, _)| *b)
+                .collect();
+            unfetched.sort_unstable(); // determinism for the comparison
+            for burst in unfetched {
+                self.start_fetch(burst);
+            }
+
+            let completions: Vec<_> = self.channel.tick().to_vec();
+            for c in &completions {
+                let Some((burst, is_writeback)) = self.inflight.remove(&c.tag) else {
+                    continue;
+                };
+                if is_writeback {
+                    self.bursts.remove(&burst);
+                    if self.waiting.get(&burst).is_some_and(|w| !w.is_empty()) {
+                        self.start_fetch(burst);
+                    }
+                } else {
+                    self.bursts.insert(burst, BurstState::Open { dirty: false });
+                    self.resident.push_back(burst);
+                    if let Some(waiters) = self.waiting.remove(&burst) {
+                        for access in waiters {
+                            self.execute(access);
+                        }
+                    }
+                    self.maybe_evict();
+                }
+            }
+
+            let now = self.channel.cycle();
+            let (done, pending): (Vec<_>, Vec<_>) =
+                self.results.drain(..).partition(|r| r.cycle <= now);
+            self.results = pending;
+            done
+        }
+
+        fn maybe_evict(&mut self) {
+            while self.resident.len() > self.capacity {
+                let Some(burst) = self.resident.pop_front() else {
+                    break;
+                };
+                match self.bursts.get(&burst) {
+                    Some(BurstState::Open { dirty: true }) => self.start_writeback(burst),
+                    Some(BurstState::Open { dirty: false }) => {
+                        self.bursts.remove(&burst);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        pub fn flush(&mut self) {
+            let mut dirty: Vec<u64> = self
+                .bursts
+                .iter()
+                .filter(|(_, s)| matches!(s, BurstState::Open { dirty: true }))
+                .map(|(b, _)| *b)
+                .collect();
+            dirty.sort_unstable(); // determinism for the comparison
+            for burst in dirty {
+                self.start_writeback(burst);
+            }
+            self.resident.clear();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn slab_ag_matches_hashmap_reference(
+        ops in prop::collection::vec(
+            (0u64..1024, 0u8..6, 0u8..100, 0u8..4),
+            1..120,
+        ),
+        capacity in 1usize..8,
+    ) {
+        use capstan_arch::ag::{AddressGenerator, DramAccess};
+        use capstan_sim::dram::{DramModel, MemoryKind};
+
+        let words = 1024usize;
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let mut slab = AddressGenerator::new(model, words, capacity);
+        let mut reference = ag_reference::RefAg::new(model, words, capacity);
+
+        let to_op = |sel: u8| match sel {
+            0 => RmwOp::Read,
+            1 => RmwOp::AddF,
+            2 => RmwOp::Write,
+            3 => RmwOp::MinReportChanged,
+            4 => RmwOp::TestAndSet,
+            _ => RmwOp::SubF,
+        };
+
+        let check = |slab: &mut AddressGenerator, reference: &mut ag_reference::RefAg| {
+            let want = reference.tick();
+            let got = slab.tick();
+            assert_eq!(got, want.as_slice(), "completion streams diverged");
+        };
+
+        // Interleave submissions with gaps of idle ticks: random
+        // burst/waiter interleavings across every slab state.
+        for (i, &(addr, sel, operand, gap)) in ops.iter().enumerate() {
+            let access = DramAccess {
+                addr,
+                op: to_op(sel),
+                operand: operand as f32 * 0.5,
+                tag: i as u64,
+            };
+            slab.submit(access);
+            reference.submit(access);
+            for _ in 0..gap {
+                check(&mut slab, &mut reference);
+            }
+        }
+        for _ in 0..200_000 {
+            check(&mut slab, &mut reference);
+            if slab.is_idle() && reference.is_idle() {
+                break;
+            }
+        }
+        prop_assert!(slab.is_idle() && reference.is_idle(), "drain stalled");
+
+        // End-of-kernel barrier: flush both, drain, compare memory.
+        slab.flush();
+        reference.flush();
+        for _ in 0..200_000 {
+            check(&mut slab, &mut reference);
+            if slab.is_idle() && reference.is_idle() {
+                break;
+            }
+        }
+        for w in 0..words as u64 {
+            prop_assert_eq!(
+                slab.peek(w).to_bits(),
+                reference.peek(w).to_bits(),
+                "memory diverged at word {}", w
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! CI perf-regression gate over `BENCH_core.json` records.
+//!
+//! ```text
+//! bench-gate <BASELINE> <FRESH>
+//! ```
+//!
+//! Exits nonzero (listing every violation) when any experiment in
+//! `FRESH` regresses against `BASELINE`: schema/scale mismatch,
+//! missing baseline row, diverged simulated cycles (simulator behavior
+//! changed without regenerating the baseline), or a cycles/sec drop
+//! beyond the tolerance (default 15%, override with the
+//! `BENCH_GATE_TOLERANCE` env var — a fraction such as `0.5`).
+
+use capstan_bench::gate;
+
+fn load(path: &str) -> gate::BenchRecord {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    gate::parse_record(&text).unwrap_or_else(|e| {
+        eprintln!("bench-gate: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench-gate <BASELINE> <FRESH>");
+        std::process::exit(2);
+    };
+    let tolerance_env = std::env::var("BENCH_GATE_TOLERANCE").ok();
+    let tolerance = gate::tolerance_from(tolerance_env.as_deref()).unwrap_or_else(|e| {
+        eprintln!("bench-gate: {e}");
+        std::process::exit(2);
+    });
+
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    let errors = gate::compare(&baseline, &fresh, tolerance);
+    if errors.is_empty() {
+        println!(
+            "bench-gate: OK — {} experiment(s) within {:.0}% of {}",
+            fresh.experiments.len(),
+            tolerance * 100.0,
+            baseline_path
+        );
+        return;
+    }
+    for e in &errors {
+        eprintln!("bench-gate: FAIL: {e}");
+    }
+    std::process::exit(1);
+}

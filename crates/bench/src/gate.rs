@@ -1,0 +1,423 @@
+//! The CI perf-regression gate.
+//!
+//! Compares a freshly generated `BENCH_core.json` against the committed
+//! baseline and fails when performance regresses:
+//!
+//! * **Schema / scale** must match exactly — a record produced by a
+//!   different writer or at a different experiment scale is not
+//!   comparable.
+//! * **`simulated_cycles`** must match exactly per experiment. Simulated
+//!   cycles are machine-independent, so a mismatch means the simulator's
+//!   behavior changed; intentional model changes must regenerate the
+//!   committed baseline in the same PR.
+//! * **`cycles_per_second`** (simulated cycles per wall second — the
+//!   throughput metric every perf PR quotes) may not drop more than the
+//!   tolerance below the baseline. The default is 15%; CI machines differ
+//!   from the machine that produced the baseline, so the tolerance is
+//!   env-overridable via `BENCH_GATE_TOLERANCE` (a fraction, e.g. `0.5`).
+//!
+//! Experiments present in the baseline but absent from the fresh record
+//! are ignored (subset smoke runs are fine); a fresh experiment missing
+//! from the baseline is an error, because it would otherwise never be
+//! gated.
+//!
+//! The record format is the tiny fixed schema written by the
+//! `experiments` binary, so parsing is a few string scans — no JSON
+//! dependency (this workspace builds fully offline).
+
+use std::fmt;
+
+/// One experiment row of a `capstan-bench-core/v1` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Experiment name (`table4`, `fig5a`, ...).
+    pub name: String,
+    /// Wall-clock seconds for the experiment.
+    pub wall_seconds: f64,
+    /// Machine-independent simulated cycles.
+    pub simulated_cycles: u64,
+    /// Simulated cycles per wall second (the gated throughput metric).
+    pub cycles_per_second: f64,
+}
+
+/// A parsed `BENCH_core.json` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Schema tag (`capstan-bench-core/v1`).
+    pub schema: String,
+    /// Experiment scale the record was generated at.
+    pub scale: String,
+    /// Experiment rows.
+    pub experiments: Vec<BenchEntry>,
+}
+
+/// Why the gate failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateError {
+    /// The record text did not parse as a bench record.
+    Malformed(String),
+    /// Baseline and fresh schemas differ.
+    SchemaMismatch {
+        /// Schema of the committed baseline.
+        baseline: String,
+        /// Schema of the fresh record.
+        fresh: String,
+    },
+    /// Baseline and fresh scales differ (cycle counts not comparable).
+    ScaleMismatch {
+        /// Scale of the committed baseline.
+        baseline: String,
+        /// Scale of the fresh record.
+        fresh: String,
+    },
+    /// A fresh experiment has no baseline row to gate against.
+    MissingExperiment(String),
+    /// Simulated cycles diverged: the simulator's behavior changed
+    /// without the baseline being regenerated.
+    CyclesDiverged {
+        /// Experiment name.
+        name: String,
+        /// Baseline simulated cycles.
+        baseline: u64,
+        /// Fresh simulated cycles.
+        fresh: u64,
+    },
+    /// Throughput regressed beyond the tolerance.
+    Regression {
+        /// Experiment name.
+        name: String,
+        /// Baseline cycles/sec.
+        baseline: f64,
+        /// Fresh cycles/sec.
+        fresh: f64,
+        /// Tolerance the comparison ran with.
+        tolerance: f64,
+    },
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::Malformed(what) => write!(f, "malformed bench record: {what}"),
+            GateError::SchemaMismatch { baseline, fresh } => {
+                write!(f, "schema mismatch: baseline `{baseline}` vs fresh `{fresh}`")
+            }
+            GateError::ScaleMismatch { baseline, fresh } => {
+                write!(f, "scale mismatch: baseline `{baseline}` vs fresh `{fresh}`")
+            }
+            GateError::MissingExperiment(name) => {
+                write!(f, "experiment `{name}` has no baseline row; regenerate the committed BENCH_core.json")
+            }
+            GateError::CyclesDiverged {
+                name,
+                baseline,
+                fresh,
+            } => write!(
+                f,
+                "experiment `{name}` simulated {fresh} cycles vs baseline {baseline}: simulator behavior changed — regenerate the committed BENCH_core.json in this PR"
+            ),
+            GateError::Regression {
+                name,
+                baseline,
+                fresh,
+                tolerance,
+            } => write!(
+                f,
+                "experiment `{name}` regressed: {fresh:.1} cycles/sec vs baseline {baseline:.1} (allowed drop {:.0}%)",
+                tolerance * 100.0
+            ),
+        }
+    }
+}
+
+/// Extracts the string value of `"key": "value"`.
+fn string_field(text: &str, key: &str) -> Result<String, GateError> {
+    let needle = format!("\"{key}\": \"");
+    let start = text
+        .find(&needle)
+        .ok_or_else(|| GateError::Malformed(format!("missing `{key}`")))?
+        + needle.len();
+    let end = text[start..]
+        .find('"')
+        .ok_or_else(|| GateError::Malformed(format!("unterminated `{key}`")))?;
+    Ok(text[start..start + end].to_string())
+}
+
+/// Extracts the numeric value following `"key": ` in `text`.
+fn number_field(text: &str, key: &str) -> Result<f64, GateError> {
+    let needle = format!("\"{key}\": ");
+    let start = text
+        .find(&needle)
+        .ok_or_else(|| GateError::Malformed(format!("missing `{key}`")))?
+        + needle.len();
+    let end = text[start..]
+        .find([',', '}', '\n'])
+        .unwrap_or(text.len() - start);
+    text[start..start + end]
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| GateError::Malformed(format!("bad `{key}`: {e}")))
+}
+
+/// Parses the fixed `capstan-bench-core/v1` record format.
+pub fn parse_record(text: &str) -> Result<BenchRecord, GateError> {
+    let schema = string_field(text, "schema")?;
+    let scale = string_field(text, "scale")?;
+    let mut experiments = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"name\":") {
+            continue;
+        }
+        experiments.push(BenchEntry {
+            name: string_field(line, "name")?,
+            wall_seconds: number_field(line, "wall_seconds")?,
+            simulated_cycles: number_field(line, "simulated_cycles")? as u64,
+            cycles_per_second: number_field(line, "cycles_per_second")?,
+        });
+    }
+    if experiments.is_empty() {
+        return Err(GateError::Malformed("no experiment rows".to_string()));
+    }
+    Ok(BenchRecord {
+        schema,
+        scale,
+        experiments,
+    })
+}
+
+/// Parses a `BENCH_GATE_TOLERANCE`-style override. `None` yields the
+/// default 15%; a present but unparsable or out-of-range value is an
+/// error, so a typo'd override fails loudly instead of silently running
+/// at a different tolerance than intended.
+pub fn tolerance_from(env: Option<&str>) -> Result<f64, String> {
+    let Some(raw) = env else { return Ok(0.15) };
+    raw.parse::<f64>()
+        .ok()
+        .filter(|t| (0.0..1.0).contains(t))
+        .ok_or_else(|| {
+            format!(
+                "invalid BENCH_GATE_TOLERANCE `{raw}`: expected a fraction in [0, 1), e.g. `0.5` for 50%"
+            )
+        })
+}
+
+/// Gates `fresh` against `baseline`, returning every violation (empty
+/// means the gate passes). `tolerance` is the allowed fractional drop in
+/// cycles/sec.
+pub fn compare(baseline: &BenchRecord, fresh: &BenchRecord, tolerance: f64) -> Vec<GateError> {
+    if baseline.schema != fresh.schema {
+        return vec![GateError::SchemaMismatch {
+            baseline: baseline.schema.clone(),
+            fresh: fresh.schema.clone(),
+        }];
+    }
+    if baseline.scale != fresh.scale {
+        return vec![GateError::ScaleMismatch {
+            baseline: baseline.scale.clone(),
+            fresh: fresh.scale.clone(),
+        }];
+    }
+    let mut errors = Vec::new();
+    for entry in &fresh.experiments {
+        let Some(base) = baseline.experiments.iter().find(|b| b.name == entry.name) else {
+            errors.push(GateError::MissingExperiment(entry.name.clone()));
+            continue;
+        };
+        if base.simulated_cycles != entry.simulated_cycles {
+            errors.push(GateError::CyclesDiverged {
+                name: entry.name.clone(),
+                baseline: base.simulated_cycles,
+                fresh: entry.simulated_cycles,
+            });
+            continue;
+        }
+        // Zero-throughput rows (instant experiments) carry no signal.
+        if base.cycles_per_second <= 0.0 {
+            continue;
+        }
+        if entry.cycles_per_second < base.cycles_per_second * (1.0 - tolerance) {
+            errors.push(GateError::Regression {
+                name: entry.name.clone(),
+                baseline: base.cycles_per_second,
+                fresh: entry.cycles_per_second,
+                tolerance,
+            });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(scale: &str, rows: &[(&str, u64, f64)]) -> BenchRecord {
+        BenchRecord {
+            schema: "capstan-bench-core/v1".to_string(),
+            scale: scale.to_string(),
+            experiments: rows
+                .iter()
+                .map(|&(name, cycles, cps)| BenchEntry {
+                    name: name.to_string(),
+                    wall_seconds: if cps > 0.0 { cycles as f64 / cps } else { 0.0 },
+                    simulated_cycles: cycles,
+                    cycles_per_second: cps,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_experiments_writer_format() {
+        let text = r#"{
+  "schema": "capstan-bench-core/v1",
+  "scale": "small",
+  "threads": 4,
+  "experiments": [
+    {"name": "table4", "wall_seconds": 0.311957, "simulated_cycles": 90000, "cycles_per_second": 288500.9},
+    {"name": "fig4", "wall_seconds": 0.032404, "simulated_cycles": 22688, "cycles_per_second": 700170.0}
+  ],
+  "total_wall_seconds": 0.344361,
+  "total_simulated_cycles": 112688
+}
+"#;
+        let r = parse_record(text).unwrap();
+        assert_eq!(r.schema, "capstan-bench-core/v1");
+        assert_eq!(r.scale, "small");
+        assert_eq!(r.experiments.len(), 2);
+        assert_eq!(r.experiments[0].name, "table4");
+        assert_eq!(r.experiments[0].simulated_cycles, 90000);
+        assert_eq!(r.experiments[1].cycles_per_second, 700170.0);
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        assert!(matches!(parse_record("{}"), Err(GateError::Malformed(_))));
+        assert!(matches!(
+            parse_record("{\"schema\": \"capstan-bench-core/v1\", \"scale\": \"small\"}"),
+            Err(GateError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn schema_mismatch_fails() {
+        let mut fresh = record("small", &[("table4", 100, 1000.0)]);
+        fresh.schema = "capstan-bench-core/v2".to_string();
+        let baseline = record("small", &[("table4", 100, 1000.0)]);
+        let errs = compare(&baseline, &fresh, 0.15);
+        assert!(matches!(
+            errs.as_slice(),
+            [GateError::SchemaMismatch { .. }]
+        ));
+    }
+
+    #[test]
+    fn scale_mismatch_fails() {
+        let baseline = record("small", &[("table4", 100, 1000.0)]);
+        let fresh = record("medium", &[("table4", 100, 1000.0)]);
+        let errs = compare(&baseline, &fresh, 0.15);
+        assert!(matches!(errs.as_slice(), [GateError::ScaleMismatch { .. }]));
+    }
+
+    #[test]
+    fn missing_experiment_fails() {
+        let baseline = record("small", &[("table4", 100, 1000.0)]);
+        let fresh = record("small", &[("brand_new", 100, 1000.0)]);
+        let errs = compare(&baseline, &fresh, 0.15);
+        assert!(
+            matches!(errs.as_slice(), [GateError::MissingExperiment(name)] if name == "brand_new")
+        );
+    }
+
+    #[test]
+    fn baseline_only_experiments_are_ignored() {
+        // Subset smoke runs gate only what they ran.
+        let baseline = record("small", &[("table4", 100, 1000.0), ("fig4", 50, 2000.0)]);
+        let fresh = record("small", &[("table4", 100, 1000.0)]);
+        assert!(compare(&baseline, &fresh, 0.15).is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let baseline = record("small", &[("table4", 100, 1000.0)]);
+        let fresh = record("small", &[("table4", 100, 860.0)]); // -14%
+        assert!(compare(&baseline, &fresh, 0.15).is_empty());
+    }
+
+    #[test]
+    fn over_tolerance_fails() {
+        let baseline = record("small", &[("table4", 100, 1000.0)]);
+        let fresh = record("small", &[("table4", 100, 840.0)]); // -16%
+        let errs = compare(&baseline, &fresh, 0.15);
+        assert!(matches!(errs.as_slice(), [GateError::Regression { .. }]));
+    }
+
+    #[test]
+    fn speedups_always_pass() {
+        let baseline = record("small", &[("table4", 100, 1000.0)]);
+        let fresh = record("small", &[("table4", 100, 5000.0)]);
+        assert!(compare(&baseline, &fresh, 0.15).is_empty());
+    }
+
+    #[test]
+    fn simulated_cycle_divergence_fails_even_when_fast() {
+        let baseline = record("small", &[("table4", 100, 1000.0)]);
+        let fresh = record("small", &[("table4", 101, 9000.0)]);
+        let errs = compare(&baseline, &fresh, 0.15);
+        assert!(matches!(
+            errs.as_slice(),
+            [GateError::CyclesDiverged {
+                baseline: 100,
+                fresh: 101,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn zero_throughput_rows_carry_no_signal() {
+        let baseline = record("small", &[("table5", 0, 0.0)]);
+        let fresh = record("small", &[("table5", 0, 0.0)]);
+        assert!(compare(&baseline, &fresh, 0.15).is_empty());
+    }
+
+    #[test]
+    fn tolerance_parsing_defaults_and_bounds() {
+        assert_eq!(tolerance_from(None), Ok(0.15));
+        assert_eq!(tolerance_from(Some("0.5")), Ok(0.5));
+        assert_eq!(tolerance_from(Some("0.0")), Ok(0.0));
+        // A present but bad override must fail loudly, not silently run
+        // at the (stricter) default.
+        assert!(tolerance_from(Some("junk")).is_err());
+        assert!(tolerance_from(Some("75")).is_err());
+        assert!(tolerance_from(Some("1.0")).is_err());
+        assert!(tolerance_from(Some("-0.1")).is_err());
+    }
+
+    #[test]
+    fn every_violation_is_reported() {
+        let baseline = record(
+            "small",
+            &[("a", 10, 1000.0), ("b", 10, 1000.0), ("c", 10, 1000.0)],
+        );
+        let fresh = record(
+            "small",
+            &[("a", 10, 100.0), ("b", 11, 1000.0), ("d", 10, 1000.0)],
+        );
+        let errs = compare(&baseline, &fresh, 0.15);
+        assert_eq!(errs.len(), 3, "{errs:?}");
+    }
+
+    #[test]
+    fn round_trips_the_committed_baseline() {
+        // The committed BENCH_core.json must always be gate-parsable.
+        let text = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_core.json"),
+        )
+        .expect("committed baseline readable");
+        let r = parse_record(&text).expect("committed baseline parses");
+        assert_eq!(r.schema, "capstan-bench-core/v1");
+        assert!(compare(&r, &r, 0.0).is_empty(), "baseline must gate itself");
+    }
+}

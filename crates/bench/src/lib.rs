@@ -15,6 +15,7 @@
 //! ```
 
 pub mod experiments;
+pub mod gate;
 pub mod suite;
 
 pub use suite::{AppId, Suite};

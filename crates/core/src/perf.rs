@@ -25,7 +25,7 @@
 use crate::config::CapstanConfig;
 use crate::program::{TileWork, Workload};
 use crate::report::{Breakdown, PerfReport};
-use capstan_arch::shuffle::{ButterflyNetwork, ShuffleVector};
+use capstan_arch::shuffle::{ButterflyNetwork, RouteScratch, ShuffleVector};
 use capstan_arch::spmu::driver::run_vectors;
 use capstan_arch::spmu::{AccessVector, LaneRequest};
 use capstan_sim::dram::{AccessPattern, DramModel};
@@ -156,20 +156,23 @@ fn network_excess(workload: &Workload, cfg: &CapstanConfig) -> u64 {
         return 0;
     }
     // Build per-port sample streams: tile i injects at port i mod ports.
+    // The streams borrow each tile's sampled vectors in place — the
+    // butterfly's `route_ref` works on borrows, so nothing is cloned.
     let ports = shuffle_cfg.ports;
-    let mut streams: Vec<Vec<ShuffleVector>> = vec![Vec::new(); ports];
+    let mut streams: Vec<Vec<&ShuffleVector>> = vec![Vec::new(); ports];
     let mut sample_entries = 0u64;
     for (i, tile) in workload.tiles.iter().enumerate() {
         for v in &tile.remote.sampled {
             sample_entries += v.iter().flatten().count() as u64;
-            streams[i % ports].push(v.clone());
+            streams[i % ports].push(v);
         }
     }
     if sample_entries == 0 {
         return 0;
     }
     let net = ButterflyNetwork::new(shuffle_cfg);
-    let result = net.route(&streams);
+    let mut scratch = RouteScratch::default();
+    let result = net.route_ref(&streams, &mut scratch);
     // Ideal delivery: the bottleneck input port's vector count.
     let ideal: u64 = streams.iter().map(|s| s.len() as u64).max().unwrap_or(1);
     let extra_sample = result.cycles.saturating_sub(ideal);

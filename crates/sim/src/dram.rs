@@ -188,7 +188,10 @@ impl DramChannel {
             cycle: 0,
             credit: 0.0,
             queue: BoundedQueue::new(queue_depth),
-            completed: Vec::new(),
+            // Per-tick completions can never exceed the queue occupancy,
+            // so pre-sizing here keeps `tick` allocation-free from the
+            // first cycle.
+            completed: Vec::with_capacity(queue_depth),
             served: 0,
         }
     }

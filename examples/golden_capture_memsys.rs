@@ -1,0 +1,175 @@
+//! One-off capture of memory-subsystem golden values (used to pin the
+//! AG slab refactor and the borrow-based butterfly route; see
+//! `tests/determinism_golden.rs`).
+
+use capstan::apps::App;
+use capstan::arch::ag::{AddressGenerator, DramAccess};
+use capstan::arch::shuffle::{ButterflyNetwork, MergeShift, ShuffleConfig, ShuffleEntry};
+use capstan::arch::spmu::driver::TraceRng;
+use capstan::arch::spmu::RmwOp;
+use capstan::core::config::{CapstanConfig, MemoryKind};
+use capstan::core::perf::simulate;
+use capstan::sim::dram::DramModel;
+use capstan::tensor::gen::Dataset;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv(hash: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *hash ^= byte as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Drives an AG with a deterministic mixed-op random stream (capacity
+/// pressure forces evictions, writebacks, and read-after-writeback
+/// holds), hashing the completion sequence in order.
+fn ag_stream(kind: capstan::sim::dram::MemoryKind, capacity: usize, seed: u64) {
+    let words = 4096u64;
+    let mut ag = AddressGenerator::new(DramModel::new(kind), words as usize, capacity);
+    let mut rng = TraceRng::new(seed);
+    let mut hash = FNV_OFFSET;
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let drain = |ag: &mut AddressGenerator, hash: &mut u64, completed: &mut u64| {
+        for r in ag.tick().iter() {
+            fnv(hash, r.tag);
+            fnv(hash, r.value.to_bits() as u64);
+            fnv(hash, r.cycle);
+            *completed += 1;
+        }
+    };
+    for _ in 0..6000u64 {
+        // Throttle outstanding work below the channel queue depth so the
+        // backpressure-retry path (HashMap-iteration-ordered in the old
+        // code) never fires.
+        if submitted - completed < 64 && rng.below(2) == 0 {
+            let addr = rng.below(words);
+            let op = match rng.below(6) {
+                0 => RmwOp::Read,
+                1 => RmwOp::AddF,
+                2 => RmwOp::Write,
+                3 => RmwOp::MinReportChanged,
+                4 => RmwOp::TestAndSet,
+                _ => RmwOp::SubF,
+            };
+            ag.submit(DramAccess {
+                addr,
+                op,
+                operand: rng.below(100) as f32 * 0.5,
+                tag: submitted,
+            });
+            submitted += 1;
+        }
+        drain(&mut ag, &mut hash, &mut completed);
+    }
+    for _ in 0..200_000u64 {
+        if ag.is_idle() && completed == submitted {
+            break;
+        }
+        drain(&mut ag, &mut hash, &mut completed);
+    }
+    ag.flush();
+    for _ in 0..200_000u64 {
+        if ag.is_idle() {
+            break;
+        }
+        drain(&mut ag, &mut hash, &mut completed);
+    }
+    let mut mem_hash = FNV_OFFSET;
+    for w in 0..words {
+        fnv(&mut mem_hash, ag.peek(w).to_bits() as u64);
+    }
+    println!(
+        "ag {:?} cap={capacity} seed={seed:#X}: completions={completed} stream_hash=0x{hash:016X} mem_hash=0x{mem_hash:016X} fetched={} written={} cycle={}",
+        kind,
+        ag.bursts_fetched(),
+        ag.bursts_written(),
+        ag.cycle()
+    );
+}
+
+/// Deterministic random per-port streams for the butterfly network.
+fn butterfly_streams(
+    ports: usize,
+    lanes: usize,
+    vectors: usize,
+    seed: u64,
+) -> Vec<Vec<Vec<Option<ShuffleEntry>>>> {
+    let mut rng = TraceRng::new(seed);
+    let mut streams: Vec<Vec<Vec<Option<ShuffleEntry>>>> = vec![Vec::new(); ports];
+    for stream in streams.iter_mut() {
+        for _ in 0..vectors {
+            let v: Vec<Option<ShuffleEntry>> = (0..lanes)
+                .map(|l| {
+                    if rng.below(3) == 0 {
+                        Some(ShuffleEntry {
+                            dest: rng.below(ports as u64) as u32,
+                            lane: l,
+                        })
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            stream.push(v);
+        }
+    }
+    streams
+}
+
+fn butterfly_route(shift: MergeShift, seed: u64) {
+    let cfg = ShuffleConfig {
+        shift,
+        ..Default::default()
+    };
+    let streams = butterfly_streams(cfg.ports, cfg.lanes, 24, seed);
+    let net = ButterflyNetwork::new(cfg);
+    let r = net.route(&streams);
+    let mut hash = FNV_OFFSET;
+    for (v, e) in r.delivered_vectors.iter().zip(&r.delivered_entries) {
+        fnv(&mut hash, *v);
+        fnv(&mut hash, *e);
+    }
+    println!(
+        "route {} seed={seed:#X}: cycles={} bypassed={} entries={} ports_hash=0x{hash:016X}",
+        shift.name(),
+        r.cycles,
+        r.bypassed,
+        r.delivered_entries.iter().sum::<u64>()
+    );
+}
+
+fn main() {
+    use capstan::sim::dram::MemoryKind as SimMem;
+    ag_stream(SimMem::Ddr4, 4, 0xA6_601D);
+    ag_stream(SimMem::Hbm2e, 2, 0xBEEF);
+    ag_stream(SimMem::Ddr4, 8, 0x5EED);
+    for shift in [MergeShift::None, MergeShift::One, MergeShift::Full] {
+        butterfly_route(shift, 0x0DDBA11);
+    }
+    // Network-heavy (AG/shuffle-bound) end-to-end simulate pins.
+    let g = Dataset::WebStanford.generate_scaled(0.02);
+    let app = capstan::apps::pagerank::PrEdge::new(&g);
+    let wl = app.build(&CapstanConfig::paper_default());
+    for (name, cfg) in [
+        ("hbm2e", CapstanConfig::new(MemoryKind::Hbm2e)),
+        ("ddr4", CapstanConfig::new(MemoryKind::Ddr4)),
+    ] {
+        let r = simulate(&wl, &cfg);
+        println!(
+            "simulate pr_edge_web/{name}: cycles={} active={} scan={} ls={} vl={} imb={} net={} sram={} dram={} util_bits=0x{:016X}",
+            r.cycles,
+            r.breakdown.active,
+            r.breakdown.scan,
+            r.breakdown.load_store,
+            r.breakdown.vector_length,
+            r.breakdown.imbalance,
+            r.breakdown.network,
+            r.breakdown.sram,
+            r.breakdown.dram,
+            r.sram_bank_utilization.to_bits()
+        );
+    }
+}

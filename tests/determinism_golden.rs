@@ -123,6 +123,257 @@ fn perf_simulate_is_bit_identical_to_golden() {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv(hash: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *hash ^= byte as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Golden pins for the address generator's completion stream
+/// (AG-heavy / DRAM-bound path). Captured from the pre-refactor,
+/// `HashMap`-keyed AG via `examples/golden_capture_memsys.rs`; the
+/// slab-indexed implementation must reproduce the exact completion
+/// sequence (tags, result values, and cycles, hashed in order), final
+/// memory image, burst counts, and drain cycle.
+#[test]
+fn ag_completion_stream_is_bit_identical_to_golden() {
+    use capstan::arch::ag::{AddressGenerator, DramAccess};
+    use capstan::arch::spmu::driver::TraceRng;
+    use capstan::arch::spmu::RmwOp;
+    use capstan::sim::dram::{DramModel, MemoryKind as SimMem};
+
+    struct Golden {
+        kind: SimMem,
+        capacity: usize,
+        seed: u64,
+        completions: u64,
+        stream_hash: u64,
+        mem_hash: u64,
+        fetched: u64,
+        written: u64,
+        cycle: u64,
+    }
+    let golden = [
+        Golden {
+            kind: SimMem::Ddr4,
+            capacity: 4,
+            seed: 0xA6_601D,
+            completions: 1113,
+            stream_hash: 0xD107D87A2BBA3AC2,
+            mem_hash: 0x9A98384800462FF7,
+            fetched: 878,
+            written: 744,
+            cycle: 6674,
+        },
+        Golden {
+            kind: SimMem::Hbm2e,
+            capacity: 2,
+            seed: 0xBEEF,
+            completions: 2997,
+            stream_hash: 0xF2D353343DDBCF3A,
+            mem_hash: 0x3B04FE3D455B8B6C,
+            fetched: 2550,
+            written: 2186,
+            cycle: 6285,
+        },
+        Golden {
+            kind: SimMem::Ddr4,
+            capacity: 8,
+            seed: 0x5EED,
+            completions: 1109,
+            stream_hash: 0xB4BF58B4B57C49B6,
+            mem_hash: 0xF4938DC8AD84B48B,
+            fetched: 867,
+            written: 757,
+            cycle: 6756,
+        },
+    ];
+    for g in golden {
+        let words = 4096u64;
+        let mut ag = AddressGenerator::new(DramModel::new(g.kind), words as usize, g.capacity);
+        let mut rng = TraceRng::new(g.seed);
+        let mut hash = FNV_OFFSET;
+        let mut submitted = 0u64;
+        let mut completed = 0u64;
+        let drain = |ag: &mut AddressGenerator, hash: &mut u64, completed: &mut u64| {
+            for r in ag.tick().iter() {
+                fnv(hash, r.tag);
+                fnv(hash, r.value.to_bits() as u64);
+                fnv(hash, r.cycle);
+                *completed += 1;
+            }
+        };
+        for _ in 0..6000u64 {
+            if submitted - completed < 64 && rng.below(2) == 0 {
+                let addr = rng.below(words);
+                let op = match rng.below(6) {
+                    0 => RmwOp::Read,
+                    1 => RmwOp::AddF,
+                    2 => RmwOp::Write,
+                    3 => RmwOp::MinReportChanged,
+                    4 => RmwOp::TestAndSet,
+                    _ => RmwOp::SubF,
+                };
+                ag.submit(DramAccess {
+                    addr,
+                    op,
+                    operand: rng.below(100) as f32 * 0.5,
+                    tag: submitted,
+                });
+                submitted += 1;
+            }
+            drain(&mut ag, &mut hash, &mut completed);
+        }
+        for _ in 0..200_000u64 {
+            if ag.is_idle() && completed == submitted {
+                break;
+            }
+            drain(&mut ag, &mut hash, &mut completed);
+        }
+        ag.flush();
+        for _ in 0..200_000u64 {
+            if ag.is_idle() {
+                break;
+            }
+            drain(&mut ag, &mut hash, &mut completed);
+        }
+        let mut mem_hash = FNV_OFFSET;
+        for w in 0..words {
+            fnv(&mut mem_hash, ag.peek(w).to_bits() as u64);
+        }
+        let label = format!("{:?}/cap{}", g.kind, g.capacity);
+        assert_eq!(completed, g.completions, "{label} completion count drifted");
+        assert_eq!(hash, g.stream_hash, "{label} completion stream drifted");
+        assert_eq!(mem_hash, g.mem_hash, "{label} final memory drifted");
+        assert_eq!(
+            ag.bursts_fetched(),
+            g.fetched,
+            "{label} fetch count drifted"
+        );
+        assert_eq!(
+            ag.bursts_written(),
+            g.written,
+            "{label} writeback count drifted"
+        );
+        assert_eq!(ag.cycle(), g.cycle, "{label} drain cycle drifted");
+    }
+}
+
+/// Golden pins for the butterfly shuffle network, routed both through
+/// the owning `route` wrapper and the borrow-based `route_ref` with a
+/// single reused scratch across all three merge-shift modes. Captured
+/// from the pre-refactor clone-per-stage implementation.
+#[test]
+fn butterfly_route_is_bit_identical_to_golden() {
+    use capstan::arch::shuffle::{
+        ButterflyNetwork, MergeShift, RouteScratch, ShuffleConfig, ShuffleEntry, ShuffleVector,
+    };
+    use capstan::arch::spmu::driver::TraceRng;
+
+    // (shift, cycles, bypassed, total entries, per-port hash)
+    let golden = [
+        (MergeShift::None, 59u64, 117u64, 1869u64, 0x90356930C5EAA85B),
+        (MergeShift::One, 31, 117, 1869, 0x30C240941486474B),
+        (MergeShift::Full, 28, 117, 1869, 0xC9ED474EB83548CA),
+    ];
+    let mut scratch = RouteScratch::default();
+    for (shift, cycles, bypassed, entries, ports_hash) in golden {
+        let cfg = ShuffleConfig {
+            shift,
+            ..Default::default()
+        };
+        let mut rng = TraceRng::new(0x0DD_BA11);
+        let streams: Vec<Vec<ShuffleVector>> = (0..cfg.ports)
+            .map(|_| {
+                (0..24)
+                    .map(|_| {
+                        (0..cfg.lanes)
+                            .map(|l| {
+                                (rng.below(3) == 0).then(|| ShuffleEntry {
+                                    dest: rng.below(cfg.ports as u64) as u32,
+                                    lane: l,
+                                })
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let net = ButterflyNetwork::new(cfg);
+        let owned = net.route(&streams);
+        let refs: Vec<Vec<&ShuffleVector>> = streams.iter().map(|s| s.iter().collect()).collect();
+        let borrowed = net.route_ref(&refs, &mut scratch).clone();
+        assert_eq!(owned, borrowed, "route and route_ref diverged");
+        let mut hash = FNV_OFFSET;
+        for (v, e) in owned.delivered_vectors.iter().zip(&owned.delivered_entries) {
+            fnv(&mut hash, *v);
+            fnv(&mut hash, *e);
+        }
+        let name = shift.name();
+        assert_eq!(owned.cycles, cycles, "{name} cycles drifted");
+        assert_eq!(owned.bypassed, bypassed, "{name} bypass count drifted");
+        assert_eq!(
+            owned.delivered_entries.iter().sum::<u64>(),
+            entries,
+            "{name} delivered entries drifted"
+        );
+        assert_eq!(hash, ports_hash, "{name} per-port delivery drifted");
+    }
+}
+
+/// Golden pins for a network-heavy (shuffle-routed) end-to-end
+/// simulation: edge-centric PageRank on a power-law web graph pushes
+/// remote updates through the butterfly model, so the Network component
+/// is nonzero and exercises `route_ref` inside `network_excess`.
+#[test]
+fn network_heavy_simulate_is_bit_identical_to_golden() {
+    let g = Dataset::WebStanford.generate_scaled(0.02);
+    let app = capstan::apps::pagerank::PrEdge::new(&g);
+    let wl = app.build(&CapstanConfig::paper_default());
+    // (memory, cycles, [active, scan, ls, vl, imb, net, sram, dram], util bits)
+    let golden = [
+        (
+            MemoryKind::Hbm2e,
+            866u64,
+            [102u64, 0, 90, 0, 221, 147, 306, 0],
+            0x3FD8CA99ADD0B565u64,
+        ),
+        (
+            MemoryKind::Ddr4,
+            4406,
+            [102, 0, 90, 0, 221, 147, 306, 3540],
+            0x3FD8CA99ADD0B565,
+        ),
+    ];
+    for (mem, cycles, breakdown, util_bits) in golden {
+        let r = simulate(&wl, &CapstanConfig::new(mem));
+        let b = r.breakdown;
+        assert_eq!(
+            (
+                r.cycles,
+                [
+                    b.active,
+                    b.scan,
+                    b.load_store,
+                    b.vector_length,
+                    b.imbalance,
+                    b.network,
+                    b.sram,
+                    b.dram
+                ]
+            ),
+            (cycles, breakdown),
+            "pr_edge_web/{mem:?} drifted"
+        );
+        assert!(b.network > 0, "workload must exercise the network path");
+        assert_eq!(r.sram_bank_utilization.to_bits(), util_bits);
+    }
+}
+
 #[test]
 fn repeated_runs_are_identical() {
     // Same seed, same everything: the engine must be a pure function.
