@@ -141,6 +141,10 @@ pub struct AddressGenerator {
     completion_scratch: Vec<capstan_sim::dram::BurstCompletion>,
     bursts_fetched: u64,
     bursts_written: u64,
+    /// Accesses submitted so far (replay-driver bookkeeping).
+    submitted_total: u64,
+    /// Accesses whose results have been released by `tick`.
+    completed_total: u64,
 }
 
 /// Depth of the per-AG channel queue. Also the hard bound on in-flight
@@ -180,6 +184,8 @@ impl AddressGenerator {
             completion_scratch: Vec::with_capacity(CHANNEL_QUEUE_DEPTH),
             bursts_fetched: 0,
             bursts_written: 0,
+            submitted_total: 0,
+            completed_total: 0,
         }
     }
 
@@ -206,6 +212,37 @@ impl AddressGenerator {
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.channel.cycle()
+    }
+
+    /// Total accesses submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted_total
+    }
+
+    /// Total accesses whose results have been released by [`tick`].
+    ///
+    /// [`tick`]: AddressGenerator::tick
+    pub fn completed(&self) -> u64 {
+        self.completed_total
+    }
+
+    /// Submitted accesses whose results have not yet been released.
+    pub fn outstanding(&self) -> u64 {
+        self.submitted_total - self.completed_total
+    }
+
+    /// Replay-driver entry point (used by the cycle-level memory mode's
+    /// `MemSysSim`): submits `access` only when fewer than
+    /// `max_outstanding` accesses are in flight, returning whether it
+    /// was accepted. Throttling through this window bounds the slab,
+    /// waiter-arena, and result-buffer high-water marks, which is what
+    /// keeps the driver's steady-state tick loop allocation-free.
+    pub fn try_submit(&mut self, access: DramAccess, max_outstanding: u64) -> bool {
+        if self.outstanding() >= max_outstanding {
+            return false;
+        }
+        self.submit(access);
+        true
     }
 
     /// Whether all work has drained.
@@ -310,6 +347,7 @@ impl AddressGenerator {
             access.addr,
             self.memory.len()
         );
+        self.submitted_total += 1;
         let burst = access.addr / BURST_WORDS as u64;
         let idx = self.slot_of[burst as usize];
         if idx == NO_SLOT {
@@ -471,6 +509,7 @@ impl AddressGenerator {
                 true
             }
         });
+        self.completed_total += self.done.len() as u64;
         &self.done
     }
 

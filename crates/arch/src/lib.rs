@@ -18,6 +18,9 @@
 //!   with ±1-lane shifting and inverse-permutation FIFOs. Behind Table 11.
 //! * [`ag`] — DRAM **address generators** (§3.4): burst tracking, atomic
 //!   DRAM read-modify-writes, and the read-only decompressor.
+//! * [`memdrv`] — the cycle-level memory-system driver
+//!   (`MemTiming::CycleLevel`): tile DRAM traffic replayed through a
+//!   banked channel and a real AG, ticked in lockstep.
 //! * [`cu`] — the compute-unit pipeline model (16 lanes × 6 stages,
 //!   scanner-only mode, §4.1/§3.3).
 //! * [`fmtconv`] — the compute-tile format converter (pointers →
@@ -30,6 +33,7 @@ pub mod area;
 pub mod cu;
 pub mod fmtconv;
 pub mod grid;
+pub mod memdrv;
 pub mod scanner;
 pub mod shuffle;
 pub mod spmu;

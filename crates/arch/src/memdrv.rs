@@ -1,0 +1,467 @@
+//! Cycle-level memory-system driver (`MemTiming::CycleLevel`).
+//!
+//! The analytic performance engine prices a workload's DRAM traffic in
+//! closed form ([`capstan_sim::dram::DramModel::transfer_cycles`]),
+//! which cannot capture bank contention, row conflicts, or the atomics
+//! serialization that dominates the paper's Table 13 comparisons
+//! (Graphicionado, SpArch). [`MemSysSim`] is the cycle-level
+//! alternative: it replays each tile's recorded DRAM traffic — streaming
+//! bursts, random/pointer words, and atomic read-modify-write words —
+//! through a *real* [`BankedDramChannel`] (streams and random reads) and
+//! a *real* [`AddressGenerator`] (atomics, with open-burst coalescing,
+//! locked read-after-writeback, and dirty-burst eviction), ticking both
+//! in lockstep until the traffic drains.
+//!
+//! # Determinism contract
+//!
+//! The driver consults no randomness and no wall-clock time: streaming
+//! addresses are sequential, scattered addresses come from a fixed
+//! SplitMix-style counter generator, and both simulated units are
+//! deterministic, so the resulting cycle count — and the completion
+//! stream pinned by `tests/determinism_golden.rs` — is
+//! machine-independent and identical across `CAPSTAN_THREADS` settings.
+//!
+//! # Allocation contract
+//!
+//! Every buffer is either fixed at construction (the banked channel's
+//! per-bank queues, its completion buffer) or grows to a bounded
+//! high-water mark during warm-up (the AG's slab and waiter arena,
+//! bounded by the outstanding-access window). The steady-state
+//! [`MemSysSim::tick`] loop performs **zero** heap allocations — proven
+//! by the counting-allocator test in `crates/arch/tests/alloc_free.rs`.
+
+use crate::ag::{AddressGenerator, DramAccess};
+use crate::spmu::RmwOp;
+use capstan_sim::dram::{BankTiming, BankedDramChannel, BurstRequest, DramModel, BURST_BYTES};
+
+/// One tile's DRAM traffic, as recorded by the workload builder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileTraffic {
+    /// Streaming (sequential) bursts: dense tile loads and stores.
+    pub stream_bursts: u64,
+    /// Independent random-read bursts (pointer chasing).
+    pub random_bursts: u64,
+    /// Atomic read-modify-write words routed through the AG.
+    pub atomic_words: u64,
+}
+
+/// Aggregate statistics of one cycle-level memory simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Cycles until the last burst drained (the DRAM time).
+    pub cycles: u64,
+    /// Streaming bursts replayed.
+    pub stream_bursts: u64,
+    /// Random bursts replayed.
+    pub random_bursts: u64,
+    /// Atomic words replayed through the AG.
+    pub atomic_words: u64,
+    /// Banked-channel row hits.
+    pub row_hits: u64,
+    /// Banked-channel row conflicts (an open row was closed).
+    pub row_conflicts: u64,
+    /// Cycles requests waited in bank queues beyond the CAS latency.
+    pub contention_cycles: u64,
+    /// Cycles banks spent busy, summed over banks (occupancy).
+    pub bank_busy_cycles: u64,
+    /// Highest per-bank queue occupancy observed.
+    pub peak_bank_queue: u64,
+    /// Bursts the AG fetched for atomic execution.
+    pub ag_bursts_fetched: u64,
+    /// Dirty bursts the AG wrote back.
+    pub ag_bursts_written: u64,
+}
+
+/// Configuration of the cycle-level memory driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSysConfig {
+    /// Banked-channel timing (banks, queues, CAS latency, row size).
+    pub timing: BankTiming,
+    /// Words in the AG's atomic region (addresses wrap into it).
+    pub ag_region_words: usize,
+    /// Simultaneously open bursts the AG tracks (§3.4's burst cache).
+    pub ag_open_bursts: usize,
+    /// Memory requests the fabric can issue per cycle (all AGs
+    /// combined).
+    pub issue_width: usize,
+    /// Outstanding-atomic window: submissions throttle above this, which
+    /// bounds the AG's internal state (see the allocation contract).
+    pub max_outstanding_atomics: u64,
+}
+
+impl MemSysConfig {
+    /// The default driver geometry for a memory system.
+    pub fn for_model(model: &DramModel) -> Self {
+        MemSysConfig {
+            timing: BankTiming::for_model(model),
+            ag_region_words: 1 << 16,
+            ag_open_bursts: 64,
+            issue_width: 16,
+            max_outstanding_atomics: 256,
+        }
+    }
+}
+
+/// Deterministic SplitMix64 step (the scattered-address generator).
+fn splitmix(state: u64) -> (u64, u64) {
+    let next = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = next;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (next, z ^ (z >> 31))
+}
+
+/// Base byte address of the streaming region (clear of the scattered
+/// region so the two traffic classes never alias rows).
+const STREAM_BASE: u64 = 1 << 40;
+/// Scattered random reads spread over this many bursts (64 MiB).
+const RANDOM_REGION_BURSTS: u64 = 1 << 20;
+
+/// The cycle-level memory-system simulator: a banked DRAM channel for
+/// streaming and random bursts plus an [`AddressGenerator`] for atomic
+/// read-modify-writes, ticked in lockstep. See the module docs for the
+/// determinism and allocation contracts.
+#[derive(Debug)]
+pub struct MemSysSim {
+    channel: BankedDramChannel,
+    ag: AddressGenerator,
+    cfg: MemSysConfig,
+    pending_stream: u64,
+    pending_random: u64,
+    pending_atomic: u64,
+    total_stream: u64,
+    total_random: u64,
+    total_atomic: u64,
+    stream_cursor: u64,
+    /// Scattered-read address stream. Independent from the atomic
+    /// stream so sweeping atomic intensity never perturbs the banked
+    /// channel's traffic (monotonicity of the sweep depends on it).
+    rng_random: u64,
+    /// Atomic address stream.
+    rng_atomic: u64,
+    next_tag: u64,
+    /// Channel requests in flight (pushed minus completed).
+    inflight: u64,
+    cycles: u64,
+    flushed: bool,
+    cycles_recorded: u64,
+}
+
+impl MemSysSim {
+    /// Creates a driver with the default geometry for `model`.
+    pub fn new(model: DramModel) -> Self {
+        MemSysSim::with_config(model, MemSysConfig::for_model(&model))
+    }
+
+    /// Creates a driver with an explicit geometry.
+    pub fn with_config(model: DramModel, cfg: MemSysConfig) -> Self {
+        MemSysSim {
+            channel: BankedDramChannel::new(model, cfg.timing),
+            ag: AddressGenerator::new(model, cfg.ag_region_words, cfg.ag_open_bursts),
+            cfg,
+            pending_stream: 0,
+            pending_random: 0,
+            pending_atomic: 0,
+            total_stream: 0,
+            total_random: 0,
+            total_atomic: 0,
+            stream_cursor: 0,
+            rng_random: 0x00C0_FFEE_D00D_F00D,
+            rng_atomic: 0x0A70_3A1C_5EED_0001,
+            next_tag: 0,
+            inflight: 0,
+            cycles: 0,
+            flushed: false,
+            cycles_recorded: 0,
+        }
+    }
+
+    /// Queues one tile's traffic for replay.
+    pub fn add_tile(&mut self, traffic: TileTraffic) {
+        self.pending_stream += traffic.stream_bursts;
+        self.pending_random += traffic.random_bursts;
+        self.pending_atomic += traffic.atomic_words;
+        self.total_stream += traffic.stream_bursts;
+        self.total_random += traffic.random_bursts;
+        self.total_atomic += traffic.atomic_words;
+        self.flushed = false;
+    }
+
+    /// Whether every queued burst and atomic has drained (the flush
+    /// rounds in [`MemSysSim::run`] may still owe dirty writebacks).
+    fn drained(&self) -> bool {
+        self.pending_stream == 0
+            && self.pending_random == 0
+            && self.pending_atomic == 0
+            && self.inflight == 0
+            && self.channel.is_idle()
+            && self.ag.outstanding() == 0
+            && self.ag.is_idle()
+    }
+
+    /// Whether every queued burst and atomic has drained (including the
+    /// AG's end-of-kernel dirty flush).
+    pub fn is_done(&self) -> bool {
+        self.drained() && self.flushed
+    }
+
+    /// Advances the memory system one cycle: issues up to `issue_width`
+    /// requests round-robin across the three traffic classes, then ticks
+    /// the banked channel and the AG in lockstep.
+    pub fn tick(&mut self) {
+        let mut budget = self.cfg.issue_width;
+        let mut progress = true;
+        while budget > 0 && progress {
+            progress = false;
+            if budget > 0 && self.pending_stream > 0 {
+                let req = BurstRequest {
+                    addr: STREAM_BASE + self.stream_cursor * BURST_BYTES,
+                    is_write: false,
+                    tag: self.next_tag,
+                };
+                if self.channel.push(req).is_ok() {
+                    self.next_tag += 1;
+                    self.stream_cursor += 1;
+                    self.pending_stream -= 1;
+                    self.inflight += 1;
+                    budget -= 1;
+                    progress = true;
+                }
+            }
+            if budget > 0 && self.pending_random > 0 {
+                let (next, val) = splitmix(self.rng_random);
+                let req = BurstRequest {
+                    addr: (val % RANDOM_REGION_BURSTS) * BURST_BYTES,
+                    is_write: false,
+                    tag: self.next_tag,
+                };
+                if self.channel.push(req).is_ok() {
+                    self.rng_random = next;
+                    self.next_tag += 1;
+                    self.pending_random -= 1;
+                    self.inflight += 1;
+                    budget -= 1;
+                    progress = true;
+                }
+            }
+            if budget > 0 && self.pending_atomic > 0 {
+                let (next, val) = splitmix(self.rng_atomic);
+                let access = DramAccess {
+                    addr: val % self.cfg.ag_region_words as u64,
+                    op: RmwOp::AddF,
+                    operand: 1.0,
+                    tag: self.next_tag,
+                };
+                if self.ag.try_submit(access, self.cfg.max_outstanding_atomics) {
+                    self.rng_atomic = next;
+                    self.next_tag += 1;
+                    self.pending_atomic -= 1;
+                    budget -= 1;
+                    progress = true;
+                }
+            }
+        }
+        self.inflight -= self.channel.tick().len() as u64;
+        let _ = self.ag.tick();
+        self.cycles += 1;
+    }
+
+    /// Ticks until every queued burst and atomic (and the AG's dirty
+    /// flush) has drained, then returns the statistics. The simulated
+    /// tick count is added to the process-wide simulated-cycle counter
+    /// exactly once per drained batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory system stops making forward progress (a
+    /// model bug, not a workload property).
+    pub fn run(&mut self) -> MemStats {
+        let mut last_progress = (self.cycles, self.watermark());
+        loop {
+            if self.drained() {
+                // Flush rounds repeat until a flush finds nothing dirty:
+                // `AddressGenerator::flush` can drop writebacks on
+                // channel backpressure (they stay `Open { dirty }`), so
+                // a single round is not guaranteed to drain a dirty set
+                // larger than the channel queue.
+                self.ag.flush();
+                if self.ag.is_idle() {
+                    self.flushed = true;
+                    break;
+                }
+                continue;
+            }
+            self.tick();
+            if self.cycles - last_progress.0 >= 1 << 22 {
+                let mark = self.watermark();
+                assert!(
+                    mark != last_progress.1,
+                    "memory system deadlocked at cycle {} ({mark:?})",
+                    self.cycles
+                );
+                last_progress = (self.cycles, mark);
+            }
+        }
+        capstan_sim::stats::record_simulated_cycles(self.cycles - self.cycles_recorded);
+        self.cycles_recorded = self.cycles;
+        self.stats()
+    }
+
+    /// Forward-progress fingerprint for the deadlock check.
+    fn watermark(&self) -> (u64, u64, u64) {
+        (
+            self.channel.stats().served,
+            self.ag.completed(),
+            self.pending_stream + self.pending_random + self.pending_atomic,
+        )
+    }
+
+    /// Statistics so far (complete after [`MemSysSim::run`] returns).
+    pub fn stats(&self) -> MemStats {
+        let b = self.channel.stats();
+        MemStats {
+            cycles: self.cycles,
+            stream_bursts: self.total_stream,
+            random_bursts: self.total_random,
+            atomic_words: self.total_atomic,
+            row_hits: b.row_hits,
+            row_conflicts: b.row_conflicts,
+            contention_cycles: b.contention_cycles,
+            bank_busy_cycles: b.bank_busy_cycles,
+            peak_bank_queue: b.peak_bank_queue as u64,
+            ag_bursts_fetched: self.ag.bursts_fetched(),
+            ag_bursts_written: self.ag.bursts_written(),
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capstan_sim::dram::{AccessPattern, MemoryKind};
+
+    fn run(model: DramModel, traffic: TileTraffic) -> MemStats {
+        let mut sim = MemSysSim::new(model);
+        sim.add_tile(traffic);
+        sim.run()
+    }
+
+    #[test]
+    fn empty_traffic_is_free() {
+        let stats = run(DramModel::new(MemoryKind::Hbm2e), TileTraffic::default());
+        assert_eq!(stats.cycles, 0);
+    }
+
+    #[test]
+    fn streaming_matches_analytic_within_band() {
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let stats = run(
+            model,
+            TileTraffic {
+                stream_bursts: 4000,
+                ..Default::default()
+            },
+        );
+        let analytic = model.transfer_cycles(4000 * BURST_BYTES, AccessPattern::Streaming);
+        assert!(stats.cycles >= analytic, "{} < {analytic}", stats.cycles);
+        assert!(
+            stats.cycles < analytic * 2,
+            "{} vs {analytic}",
+            stats.cycles
+        );
+        assert!(stats.row_hits > stats.row_conflicts);
+    }
+
+    #[test]
+    fn random_never_beats_analytic_random() {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let stats = run(
+            model,
+            TileTraffic {
+                random_bursts: 4000,
+                ..Default::default()
+            },
+        );
+        let analytic = model.transfer_cycles(4000 * BURST_BYTES, AccessPattern::Random);
+        assert!(stats.cycles >= analytic, "{} < {analytic}", stats.cycles);
+        assert!(stats.contention_cycles > 0);
+    }
+
+    #[test]
+    fn atomics_fetch_execute_and_write_back() {
+        let stats = run(
+            DramModel::new(MemoryKind::Hbm2e),
+            TileTraffic {
+                atomic_words: 2000,
+                ..Default::default()
+            },
+        );
+        assert!(stats.ag_bursts_fetched > 0);
+        assert!(
+            stats.ag_bursts_written > 0,
+            "AddF updates must dirty bursts and flush them"
+        );
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn atomic_cycles_are_monotone_in_words() {
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let mut last = 0u64;
+        for words in [256u64, 1024, 4096] {
+            let stats = run(
+                model,
+                TileTraffic {
+                    stream_bursts: 64,
+                    atomic_words: words,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                stats.cycles > last,
+                "{words} atomic words: {} !> {last}",
+                stats.cycles
+            );
+            last = stats.cycles;
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let traffic = TileTraffic {
+            stream_bursts: 500,
+            random_bursts: 300,
+            atomic_words: 200,
+        };
+        let a = run(DramModel::new(MemoryKind::Hbm2e), traffic);
+        let b = run(DramModel::new(MemoryKind::Hbm2e), traffic);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_traffic_overlaps_but_not_below_the_floor() {
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let stream_only = run(
+            model,
+            TileTraffic {
+                stream_bursts: 2000,
+                ..Default::default()
+            },
+        );
+        let mixed = run(
+            model,
+            TileTraffic {
+                stream_bursts: 2000,
+                random_bursts: 500,
+                ..Default::default()
+            },
+        );
+        // Adding traffic can only slow the drain.
+        assert!(mixed.cycles > stream_only.cycles);
+    }
+}

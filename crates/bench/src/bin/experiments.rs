@@ -2,20 +2,39 @@
 //! and records a machine-readable performance trajectory.
 //!
 //! ```text
-//! experiments [NAMES...] [--scale small|medium|large] [--bench-out PATH]
+//! experiments [NAMES...] [--scale small|medium|large] [--mem analytic|cycle]
+//!             [--bench-out PATH] [--bench-base PATH]
 //! ```
 //!
-//! `NAMES` are `table4..table13`, `fig4..fig7`, `ablations`,
-//! `extensions`, or `all` (the default). Full-suite (`all`) runs write
-//! `BENCH_core.json` — wall seconds, simulated cycles, and simulated
-//! cycles per wall second for every experiment — so successive PRs have
-//! a comparable perf baseline. Subset runs do NOT write it by default
-//! (a partial file would silently replace the committed full-suite
-//! baseline); pass `--bench-out PATH` to record one anyway, or
-//! `--no-bench-out` to suppress the full-suite write.
+//! `NAMES` are `table4..table13`, `table13-atomics`, `fig4..fig7`,
+//! `ablations`, `extensions`, or `all` (the default). Full-suite (`all`)
+//! runs write `BENCH_core.json` — wall seconds, simulated cycles, and
+//! simulated cycles per wall second for every experiment — so successive
+//! PRs have a comparable perf baseline. Subset runs do NOT write it by
+//! default (a partial file would silently replace the committed
+//! full-suite baseline); pass `--bench-out PATH` to record one anyway,
+//! or `--no-bench-out` to suppress the full-suite write.
+//!
+//! `--mem cycle` switches every constructed configuration to the
+//! cycle-level AG-backed memory mode (`MemTiming::CycleLevel`) and tags
+//! each bench-record row with a `+cycle` suffix: cycle-level simulated
+//! cycles intentionally differ from analytic ones, so the two modes form
+//! separate record groups in the baseline and the gate compares like
+//! with like. `--bench-base PATH` seeds the written record with an
+//! existing baseline's rows (same-name rows replaced), which is how the
+//! committed `BENCH_core.json` carries both the analytic full suite and
+//! the cycle-mode smoke group:
+//!
+//! ```text
+//! experiments all --scale small
+//! experiments table13-atomics fig7 --mem cycle --scale small \
+//!     --bench-base BENCH_core.json --bench-out BENCH_core.json
+//! ```
 
 use capstan_bench::experiments as exp;
+use capstan_bench::gate;
 use capstan_bench::Suite;
+use capstan_core::config::{set_default_mem_timing, MemTiming};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -23,6 +42,9 @@ struct BenchRecord {
     name: String,
     wall_seconds: f64,
     simulated_cycles: u64,
+    /// Carried verbatim when the row comes from `--bench-base`; fresh
+    /// rows recompute it from the wall time.
+    cycles_per_second: Option<f64>,
 }
 
 fn run_one(name: &str, suite: &Suite) -> bool {
@@ -49,11 +71,11 @@ fn bench_json(scale: &str, records: &[BenchRecord]) -> String {
     );
     let _ = writeln!(json, "  \"experiments\": [");
     for (i, r) in records.iter().enumerate() {
-        let cps = if r.wall_seconds > 0.0 {
+        let cps = r.cycles_per_second.unwrap_or(if r.wall_seconds > 0.0 {
             r.simulated_cycles as f64 / r.wall_seconds
         } else {
             0.0
-        };
+        });
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"simulated_cycles\": {}, \"cycles_per_second\": {:.1}}}{}",
@@ -77,7 +99,9 @@ fn main() {
     let mut suite = Suite::medium();
     let mut scale_name = "medium".to_string();
     let mut bench_out: Option<String> = None;
+    let mut bench_base: Option<String> = None;
     let mut no_bench_out = false;
+    let mut mem_suffix = "";
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -87,8 +111,22 @@ fn main() {
                     .unwrap_or_else(|| panic!("unknown scale `{name}` (small|medium|large)"));
                 scale_name = name.to_string();
             }
+            "--mem" => {
+                let mode = it.next().expect("--mem needs a value");
+                match mode.as_str() {
+                    "analytic" => set_default_mem_timing(MemTiming::Analytic),
+                    "cycle" => {
+                        set_default_mem_timing(MemTiming::CycleLevel);
+                        mem_suffix = "+cycle";
+                    }
+                    other => panic!("unknown memory mode `{other}` (analytic|cycle)"),
+                }
+            }
             "--bench-out" => {
                 bench_out = Some(it.next().expect("--bench-out needs a path").to_string());
+            }
+            "--bench-base" => {
+                bench_base = Some(it.next().expect("--bench-base needs a path").to_string());
             }
             "--no-bench-out" => no_bench_out = true,
             other => which.push(other.to_string()),
@@ -97,9 +135,16 @@ fn main() {
     if which.is_empty() {
         which.push("all".to_string());
     }
-    // Only a full-suite run defaults to writing the baseline: a subset
-    // record would silently replace the committed full-suite file.
-    if bench_out.is_none() && !no_bench_out && which.iter().any(|w| w == "all") {
+    // Only a full-suite *analytic* run defaults to writing the
+    // baseline: a subset record — or a cycle-mode run, whose rows are
+    // all renamed `+cycle` — would silently replace the committed
+    // full-suite file. Cycle-mode records must name their output
+    // explicitly (and merge via --bench-base to keep both groups).
+    if bench_out.is_none()
+        && !no_bench_out
+        && mem_suffix.is_empty()
+        && which.iter().any(|w| w == "all")
+    {
         bench_out = Some("BENCH_core.json".to_string());
     }
     if no_bench_out {
@@ -124,13 +169,42 @@ fn main() {
         let start = Instant::now();
         if run_one(name, &suite) {
             records.push(BenchRecord {
-                name: name.clone(),
+                name: format!("{name}{mem_suffix}"),
                 wall_seconds: start.elapsed().as_secs_f64(),
                 simulated_cycles: capstan_sim::stats::simulated_cycles() - cycles_before,
+                cycles_per_second: None,
             });
         } else {
             failed = true;
         }
+    }
+
+    // Seed the record with an existing baseline's rows (same-name rows
+    // replaced by this run), so one file can carry several record
+    // groups — e.g. the analytic full suite plus the `+cycle` smoke.
+    if let Some(base_path) = bench_base {
+        let text = std::fs::read_to_string(&base_path)
+            .unwrap_or_else(|e| panic!("could not read --bench-base {base_path}: {e}"));
+        let base = gate::parse_record(&text)
+            .unwrap_or_else(|e| panic!("malformed --bench-base {base_path}: {e}"));
+        assert_eq!(
+            base.scale, scale_name,
+            "--bench-base scale `{}` differs from this run's `{}`; rows would not be comparable",
+            base.scale, scale_name
+        );
+        let mut merged: Vec<BenchRecord> = base
+            .experiments
+            .into_iter()
+            .filter(|b| records.iter().all(|r| r.name != b.name))
+            .map(|b| BenchRecord {
+                name: b.name,
+                wall_seconds: b.wall_seconds,
+                simulated_cycles: b.simulated_cycles,
+                cycles_per_second: Some(b.cycles_per_second),
+            })
+            .collect();
+        merged.append(&mut records);
+        records = merged;
     }
 
     if let Some(path) = bench_out {

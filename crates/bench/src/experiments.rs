@@ -19,9 +19,9 @@ use capstan_arch::shuffle::{MergeShift, ShuffleConfig};
 use capstan_arch::spmu::driver::{measure_random_throughput, trace_one_vector};
 use capstan_arch::spmu::{BankHash, OrderingMode, SpmuConfig};
 use capstan_baselines::{plasticine, published};
-use capstan_core::config::{CapstanConfig, MemoryKind};
+use capstan_core::config::{CapstanConfig, MemTiming, MemoryKind};
 use capstan_core::perf::simulate;
-use capstan_core::program::Workload;
+use capstan_core::program::{Workload, WorkloadBuilder};
 use capstan_core::report::PerfReport;
 use capstan_tensor::gen::Dataset;
 use std::fmt::Write as _;
@@ -653,6 +653,97 @@ pub fn table13(suite: &Suite) -> String {
     out
 }
 
+// --- Table 13 atomics study --------------------------------------------------
+
+/// Table 13 (atomics study): DRAM atomic-RMW intensity swept under both
+/// memory-timing modes. The analytic model prices an atomic as 128
+/// random bytes; the cycle-level mode replays the same words through a
+/// real `AddressGenerator` behind a banked channel, so open-burst
+/// coalescing, locked read-after-writeback, and bank contention show up
+/// — exactly the effects the paper's Graphicionado/SpArch comparisons
+/// (Table 13) are sensitive to. A PR-Edge row with the shuffle network
+/// removed (Table 11's "None" column, where cross-tile updates fall
+/// back to DRAM atomics) grounds the sweep in a real workload.
+pub fn table13_atomics(suite: &Suite) -> String {
+    let mut out = header("Table 13 atomics: intensity sweep, analytic vs cycle-level DRAM");
+    let mk = |timing: MemTiming| {
+        let mut cfg = CapstanConfig::new(MemoryKind::Hbm2e);
+        cfg.mem_timing = timing;
+        cfg
+    };
+    let analytic_cfg = mk(MemTiming::Analytic);
+    let cycle_cfg = mk(MemTiming::CycleLevel);
+    // Synthetic scatter-update kernel: fixed streaming and pointer
+    // traffic, sweeping the atomic word count (scaled with the suite).
+    let unit = (240_000.0 * suite.la_scale) as usize;
+    let build = |atomic_words: u64| -> Workload {
+        let tiles = 8u64;
+        let mut wl = WorkloadBuilder::new("scatter-update");
+        for i in 0..tiles {
+            let mut t = wl.tile();
+            t.dram_stream_read(unit * 4);
+            t.foreach_vec(unit, |_, _| {});
+            t.dram_random_read(unit as u64 / 16);
+            t.dram_atomic(atomic_words / tiles + u64::from(i < atomic_words % tiles));
+            t.dram_stream_write(unit * 4);
+            wl.commit(t);
+        }
+        wl.finish()
+    };
+    let _ = writeln!(
+        out,
+        "{:>12} {:>10} {:>10} {:>6} {:>9} {:>11} {:>10} {:>10}",
+        "atomic-words", "analytic", "cycle", "ratio", "row-conf", "contention", "ag-fetch", "ag-wb"
+    );
+    let sweep: Vec<u64> = [0u64, 1, 4, 16]
+        .iter()
+        .map(|m| m * unit as u64 / 4)
+        .collect();
+    // The sweep points simulate concurrently; rows format in order, so
+    // the report text stays byte-identical across thread counts.
+    let rows = capstan_par::par_map(&sweep, |&words| {
+        let w = build(words);
+        (simulate(&w, &analytic_cfg), simulate(&w, &cycle_cfg))
+    });
+    for (words, (a, c)) in sweep.iter().zip(&rows) {
+        let m = c.mem.unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{words:>12} {:>10} {:>10} {:>6.2} {:>9} {:>11} {:>10} {:>10}",
+            a.cycles,
+            c.cycles,
+            c.cycles as f64 / a.cycles.max(1) as f64,
+            m.row_conflicts,
+            m.contention_cycles,
+            m.ag_bursts_fetched,
+            m.ag_bursts_written,
+        );
+    }
+    // Real-app anchor: shuffle-less PR-Edge routes cross-tile updates
+    // through DRAM atomics.
+    let mut none_analytic = analytic_cfg;
+    none_analytic.shuffle = None;
+    let mut none_cycle = cycle_cfg;
+    none_cycle.shuffle = None;
+    let app = suite.build(AppId::PrEdge, Dataset::WebStanford);
+    let wl = app.build(&none_analytic);
+    let a = simulate(&wl, &none_analytic);
+    let c = simulate(&wl, &none_cycle);
+    let m = c.mem.unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "PR-Edge/no-shuffle: analytic {} cycle {} (x{:.2}), row-conf {}, ag fetch/wb {}/{}",
+        a.cycles,
+        c.cycles,
+        c.cycles as f64 / a.cycles.max(1) as f64,
+        m.row_conflicts,
+        m.ag_bursts_fetched,
+        m.ag_bursts_written,
+    );
+    print!("{out}");
+    out
+}
+
 // --- Figure 4 ----------------------------------------------------------------
 
 /// Figure 4: a traced request vector in a random stream, per ordering
@@ -1187,6 +1278,7 @@ pub const ALL_NAMES: &[&str] = &[
     "table11",
     "table12",
     "table13",
+    "table13-atomics",
     "fig5a",
     "fig5b",
     "fig5c",
@@ -1211,6 +1303,7 @@ pub fn run_by_name(name: &str, suite: &Suite) -> Option<String> {
         "table11" => table11(suite),
         "table12" => table12(suite),
         "table13" => table13(suite),
+        "table13-atomics" => table13_atomics(suite),
         "fig5a" => fig5a(suite),
         "fig5b" => fig5b(suite),
         "fig5c" => fig5c(suite),

@@ -105,6 +105,44 @@ fn fig4_shows_the_ordering_hierarchy() {
 }
 
 #[test]
+fn table13_atomics_sweep_is_monotone_and_exercises_the_ag() {
+    let suite = Suite::small();
+    let report = exp::table13_atomics(&suite);
+    // Sweep rows: "atomic-words analytic cycle ratio row-conf
+    // contention ag-fetch ag-wb"; both cycle columns must rise strictly
+    // with the atomic word count, and the nonzero sweep points must
+    // route bursts through the AG.
+    let rows: Vec<Vec<f64>> = report
+        .lines()
+        .skip_while(|l| !l.starts_with("atomic-words"))
+        .skip(1)
+        .take_while(|l| l.starts_with(' ') || l.starts_with(char::is_numeric))
+        .map(|l| {
+            l.split_whitespace()
+                .map(|t| t.parse::<f64>().expect("numeric sweep cell"))
+                .collect()
+        })
+        .collect();
+    assert_eq!(rows.len(), 4, "expected 4 sweep points:\n{report}");
+    for pair in rows.windows(2) {
+        assert!(pair[1][0] > pair[0][0], "sweep not increasing:\n{report}");
+        assert!(
+            pair[1][2] > pair[0][2],
+            "cycle-level column not strictly monotone:\n{report}"
+        );
+    }
+    for row in &rows[1..] {
+        assert!(row[6] > 0.0, "AG fetches missing:\n{report}");
+        assert!(row[7] > 0.0, "AG writebacks missing:\n{report}");
+    }
+    // The real-workload anchor (shuffle-less PR-Edge) prints last.
+    assert!(
+        report.contains("PR-Edge/no-shuffle"),
+        "PR-Edge anchor missing:\n{report}"
+    );
+}
+
+#[test]
 fn extensions_report_contains_the_three_studies() {
     let suite = Suite::small();
     let report = exp::extensions(&suite);

@@ -6,6 +6,51 @@ use capstan_arch::shuffle::ShuffleConfig;
 use capstan_arch::spmu::SpmuConfig;
 pub use capstan_sim::dram::MemoryKind;
 use capstan_sim::network::NetworkConfig;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How the performance engine prices DRAM time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MemTiming {
+    /// Closed-form bandwidth/latency model (`DramModel::transfer_cycles`)
+    /// — fast, and the mode every committed golden value was captured
+    /// under.
+    #[default]
+    Analytic,
+    /// Cycle-level: each tile's DRAM traffic is replayed through a
+    /// banked channel and a real `AddressGenerator`
+    /// ([`capstan_arch::memdrv::MemSysSim`]), capturing bank contention,
+    /// row conflicts, and atomics serialization. Simulated cycles stay
+    /// machine-independent and report text stays byte-identical across
+    /// `CAPSTAN_THREADS` settings, but cycle counts differ from the
+    /// analytic mode by design — golden baselines are pinned per mode.
+    CycleLevel,
+}
+
+/// Process-wide default for [`CapstanConfig::new`]'s `mem_timing` field
+/// (0 = analytic, 1 = cycle-level).
+static DEFAULT_MEM_TIMING: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the memory-timing mode newly constructed configurations default
+/// to. Intended to be called **once, at process start** (the
+/// `experiments --mem cycle` flag); flipping it mid-run would break the
+/// determinism contract between concurrently recorded experiments.
+pub fn set_default_mem_timing(timing: MemTiming) {
+    DEFAULT_MEM_TIMING.store(
+        match timing {
+            MemTiming::Analytic => 0,
+            MemTiming::CycleLevel => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The memory-timing mode newly constructed configurations default to.
+pub fn default_mem_timing() -> MemTiming {
+    match DEFAULT_MEM_TIMING.load(Ordering::Relaxed) {
+        0 => MemTiming::Analytic,
+        _ => MemTiming::CycleLevel,
+    }
+}
 
 /// Full configuration of a simulated Capstan system.
 ///
@@ -57,6 +102,9 @@ pub struct CapstanConfig {
     /// cycle per memory (Plasticine, paper §5). Replaces the allocated
     /// SpMU replay with full serialization.
     pub serialized_sram: bool,
+    /// How DRAM time is priced: the closed-form analytic model or the
+    /// cycle-level AG-backed replay (see [`MemTiming`]).
+    pub mem_timing: MemTiming,
 }
 
 impl CapstanConfig {
@@ -78,6 +126,7 @@ impl CapstanConfig {
             scalar_stream_join: false,
             rmw_bubble_cycles: 0,
             serialized_sram: false,
+            mem_timing: default_mem_timing(),
         }
     }
 
@@ -128,6 +177,19 @@ mod tests {
         let cfg = CapstanConfig::ideal();
         assert!(cfg.ideal_net_and_mem);
         assert_eq!(cfg.memory, MemoryKind::Ideal);
+    }
+
+    #[test]
+    fn mem_timing_defaults_to_analytic() {
+        // Every golden value in the repo was captured under the analytic
+        // mode; the process-wide default must not drift. (No test may
+        // call `set_default_mem_timing` — tests run concurrently in one
+        // process; explicit per-config overrides are the test-safe way.)
+        assert_eq!(MemTiming::default(), MemTiming::Analytic);
+        assert_eq!(
+            CapstanConfig::paper_default().mem_timing,
+            MemTiming::Analytic
+        );
     }
 
     #[test]

@@ -21,14 +21,38 @@
 //! Network component routes the real shuffle traffic through the
 //! butterfly model; the DRAM component prices the real traffic against
 //! the configured memory system.
+//!
+//! # Memory-timing modes
+//!
+//! The DRAM component supports two timing modes, selected by
+//! [`CapstanConfig::mem_timing`]:
+//!
+//! * [`MemTiming::Analytic`] (default): traffic is priced in closed form
+//!   by [`DramModel::transfer_cycles`] — streaming bytes at the
+//!   streaming efficiency, random and atomic bytes at the random
+//!   efficiency. Fast, and the mode every committed golden value was
+//!   captured under.
+//! * [`MemTiming::CycleLevel`]: each tile's traffic is replayed through
+//!   [`MemSysSim`] — a banked DRAM channel for streaming/random bursts
+//!   plus a real [`capstan_arch::ag::AddressGenerator`] for atomic
+//!   read-modify-writes — ticked in lockstep until the traffic drains.
+//!   This captures bank contention, row conflicts, and atomics
+//!   serialization (the Table 13 sensitivity the analytic model cannot
+//!   see) and surfaces the counters in [`PerfReport::mem`]. The replay
+//!   is deterministic and machine-independent, so cycle-level results
+//!   are golden-pinnable and byte-identical across `CAPSTAN_THREADS`
+//!   settings — but they intentionally differ from analytic-mode cycle
+//!   counts, so perf baselines are recorded per mode.
 
 use crate::config::CapstanConfig;
+use crate::config::MemTiming;
 use crate::program::{TileWork, Workload};
 use crate::report::{Breakdown, PerfReport};
+use capstan_arch::memdrv::{MemStats, MemSysSim, TileTraffic};
 use capstan_arch::shuffle::{ButterflyNetwork, RouteScratch, ShuffleVector};
 use capstan_arch::spmu::driver::run_vectors;
 use capstan_arch::spmu::{AccessVector, LaneRequest};
-use capstan_sim::dram::{AccessPattern, DramModel};
+use capstan_sim::dram::{AccessPattern, DramModel, MemoryKind, BURST_BYTES};
 use capstan_sim::network::NetworkModel;
 
 /// Synthetic (ideal-memory) cycle analysis of one tile.
@@ -209,6 +233,7 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
     // --- Network ----------------------------------------------------------
     let mut network = 0.0f64;
     let mut dram_extra_atomic_words = 0u64;
+    let mut fallback_atomic_entries = 0u64;
     if !cfg.ideal_net_and_mem {
         if cfg.shuffle.is_some() {
             network += network_excess(workload, cfg) as f64;
@@ -217,14 +242,17 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
             // atomic DRAM accesses (Table 11's "None" column). The AGs'
             // open-burst tracking coalesces updates that hit the same
             // 16-word burst (§3.4), which graph hubs and conv halos do
-            // heavily; 8 hits per fetched burst is the calibrated rate.
+            // heavily; 8 hits per fetched burst is the calibrated rate
+            // the *analytic* mode prices with. The cycle-level mode
+            // replays the raw entry count instead — its real AG models
+            // coalescing itself, and pre-dividing would discount twice.
             const AG_COALESCE: u64 = 8;
-            dram_extra_atomic_words += workload
+            fallback_atomic_entries = workload
                 .tiles
                 .iter()
                 .map(|t| t.remote.total_entries)
-                .sum::<u64>()
-                .div_ceil(AG_COALESCE);
+                .sum::<u64>();
+            dram_extra_atomic_words += fallback_atomic_entries.div_ceil(AG_COALESCE);
         }
         // Non-pipelinable rounds each pay a network round trip.
         network += (workload.dependent_rounds * net_model.round_trip_cycles(1)) as f64;
@@ -246,17 +274,14 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
     let sram = sram_total as f64 / p;
 
     // --- DRAM ---------------------------------------------------------------
-    let stream_bytes: u64 = workload
-        .tiles
-        .iter()
-        .map(|t| {
-            if cfg.compression {
-                t.dram_stream_bytes - t.dram_compressible_bytes + t.dram_compressed_bytes
-            } else {
-                t.dram_stream_bytes
-            }
-        })
-        .sum();
+    let effective_stream_bytes = |t: &TileWork| {
+        if cfg.compression {
+            t.dram_stream_bytes - t.dram_compressible_bytes + t.dram_compressed_bytes
+        } else {
+            t.dram_stream_bytes
+        }
+    };
+    let stream_bytes: u64 = workload.tiles.iter().map(effective_stream_bytes).sum();
     let random_bursts: u64 = workload
         .tiles
         .iter()
@@ -271,9 +296,40 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
     let random_bytes = random_bursts * 64 + atomic_bursts * 128; // RMW: fetch + writeback
     let dram_bytes = stream_bytes + random_bytes;
     let mut dram = 0.0f64;
+    let mut mem_stats: Option<MemStats> = None;
     if !cfg.ideal_net_and_mem {
-        let dram_cycles = dram_model.transfer_cycles(stream_bytes, AccessPattern::Streaming)
-            + dram_model.transfer_cycles(random_bytes, AccessPattern::Random);
+        let dram_cycles = match cfg.mem_timing {
+            MemTiming::CycleLevel if !matches!(cfg.memory, MemoryKind::Ideal) => {
+                // Replay each tile's traffic through the banked channel
+                // and a real AG, ticked in lockstep; the drain time
+                // replaces the closed-form estimate.
+                let mut msim = MemSysSim::new(dram_model);
+                for tile in &workload.tiles {
+                    msim.add_tile(TileTraffic {
+                        stream_bursts: effective_stream_bytes(tile).div_ceil(BURST_BYTES),
+                        random_bursts: tile.dram_random_words,
+                        atomic_words: tile.dram_atomic_words,
+                    });
+                }
+                if fallback_atomic_entries > 0 {
+                    // Shuffle-less fallback traffic (Table 11's "None"
+                    // column): cross-tile updates as DRAM atomics. The
+                    // raw entry count goes in — the AG's open-burst
+                    // tracking coalesces, not a pre-applied constant.
+                    msim.add_tile(TileTraffic {
+                        atomic_words: fallback_atomic_entries,
+                        ..Default::default()
+                    });
+                }
+                let stats = msim.run();
+                mem_stats = Some(stats);
+                stats.cycles
+            }
+            _ => {
+                dram_model.transfer_cycles(stream_bytes, AccessPattern::Streaming)
+                    + dram_model.transfer_cycles(random_bytes, AccessPattern::Random)
+            }
+        };
         let t_before = t_max as f64 + network + sram;
         dram += (dram_cycles as f64 - t_before).max(0.0);
         dram += (workload.dependent_rounds * dram_model.latency_cycles()) as f64;
@@ -290,10 +346,14 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
         dram: dram.round() as u64,
     };
     // Note: the process-wide simulated-cycle counter is NOT bumped with
-    // this analytic total — the cycle-level SpMU replays inside
-    // `tile_sram_excess` already recorded their real ticks, and mixing
-    // modeled totals into the counter would double-count and change
-    // units whenever the perf *model* (not the simulator) changes.
+    // this modeled total. In both timing modes the genuinely simulated
+    // ticks are recorded by the engines that produced them — the SpMU
+    // replays inside `tile_sram_excess` and, under
+    // `MemTiming::CycleLevel`, the memory-system drain inside
+    // `MemSysSim::run` — while the synthetic components (Active, Scan,
+    // Imbalance, ...) are closed-form estimates; adding the breakdown
+    // total would double-count the replays and change units whenever
+    // the perf *model* (not a simulator) changes.
     let cycles = breakdown.total().max(1);
     let total_lane_work: u64 = workload.tiles.iter().map(|t| t.lane_work).sum();
     PerfReport {
@@ -309,6 +369,7 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
         dram_bytes,
         lane_efficiency: total_lane_work as f64
             / (cycles as f64 * p * cfg.grid.lanes as f64).max(1.0),
+        mem: mem_stats,
     }
 }
 
@@ -505,6 +566,57 @@ mod tests {
             r_off.cycles
         );
         assert!(r_on.dram_bytes < r_off.dram_bytes);
+    }
+
+    #[test]
+    fn cycle_level_mode_surfaces_stats_and_never_beats_analytic_here() {
+        let w = dense_workload(16_000, 32);
+        let mut analytic = CapstanConfig::new(MemoryKind::Ddr4);
+        analytic.mem_timing = MemTiming::Analytic;
+        let mut cyc = analytic;
+        cyc.mem_timing = MemTiming::CycleLevel;
+        let a = simulate(&w, &analytic);
+        let c = simulate(&w, &cyc);
+        assert!(a.mem.is_none(), "analytic mode has no cycle observables");
+        let stats = c.mem.expect("cycle mode must surface MemStats");
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.random_bursts, 0);
+        assert!(stats.stream_bursts > 0);
+        // The banked channel's derived timing can only refine the
+        // analytic rate downward, so a DRAM-bound streaming workload
+        // never gets faster under the cycle-level mode.
+        assert!(c.cycles >= a.cycles, "{} < {}", c.cycles, a.cycles);
+        assert_eq!(c.breakdown.total(), c.cycles);
+    }
+
+    #[test]
+    fn cycle_level_ideal_memory_is_still_free() {
+        let w = dense_workload(10_000, 8);
+        let mut cfg = CapstanConfig::ideal();
+        cfg.mem_timing = MemTiming::CycleLevel;
+        let report = simulate(&w, &cfg);
+        assert_eq!(report.breakdown.dram, 0);
+        assert!(report.mem.is_none());
+    }
+
+    #[test]
+    fn cycle_level_prices_atomics_through_the_ag() {
+        let mut wl = WorkloadBuilder::new("atomic");
+        {
+            let mut t = wl.tile();
+            t.foreach_vec(1000, |_, _| {});
+            t.dram_atomic(4096);
+            wl.commit(t);
+        }
+        let w = wl.finish();
+        let mut cfg = CapstanConfig::new(MemoryKind::Ddr4);
+        cfg.mem_timing = MemTiming::CycleLevel;
+        let report = simulate(&w, &cfg);
+        let stats = report.mem.expect("stats present");
+        assert_eq!(stats.atomic_words, 4096);
+        assert!(stats.ag_bursts_fetched > 0);
+        assert!(stats.ag_bursts_written > 0);
+        assert!(report.breakdown.dram > 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Performance reports and the Fig. 7 stall breakdown.
 
+use capstan_arch::memdrv::MemStats;
 use capstan_sim::cycles_to_seconds;
 use std::fmt;
 
@@ -84,6 +85,11 @@ pub struct PerfReport {
     pub dram_bytes: u64,
     /// Fraction of lane slots doing useful work.
     pub lane_efficiency: f64,
+    /// Cycle-level memory statistics (row conflicts, bank contention,
+    /// AG burst counts). `Some` only under `MemTiming::CycleLevel` with
+    /// a non-ideal memory system; the analytic mode has no cycle-level
+    /// observables.
+    pub mem: Option<MemStats>,
 }
 
 impl PerfReport {
@@ -148,6 +154,7 @@ mod tests {
             sram_bank_utilization: 0.0,
             dram_bytes: 0,
             lane_efficiency: 1.0,
+            mem: None,
         };
         let fast = mk(1_600_000);
         let slow = mk(16_000_000);

@@ -1,7 +1,11 @@
 //! Property tests for the DRAM and network models: conservation,
-//! monotonicity, and pattern ordering.
+//! monotonicity, pattern ordering, and the banked channel's queueing
+//! invariants (per-bank FIFO order, byte conservation, CAS lower bound).
 
-use capstan_sim::dram::{AccessPattern, BurstRequest, DramChannel, DramModel, MemoryKind};
+use capstan_sim::dram::{
+    AccessPattern, BankTiming, BankedDramChannel, BurstRequest, DramChannel, DramModel, MemoryKind,
+    BURST_BYTES,
+};
 use capstan_sim::network::{NetworkConfig, NetworkModel};
 use proptest::prelude::*;
 
@@ -74,6 +78,72 @@ proptest! {
         prop_assert_eq!(sorted.len(), n);
         // FIFO service order.
         prop_assert!(seen.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn banked_channel_preserves_per_bank_fifo_and_conserves_bytes(
+        bursts in prop::collection::vec((0u64..4096, any::<bool>()), 1..64),
+        kind_ddr4 in any::<bool>(),
+        gap in 1u64..5,
+    ) {
+        // Random request interleavings (addresses, read/write mix, and a
+        // randomized push cadence) must preserve per-bank FIFO order,
+        // complete every burst exactly once (byte conservation), and
+        // never complete a burst before the configured CAS latency.
+        let model = DramModel::new(if kind_ddr4 { MemoryKind::Ddr4 } else { MemoryKind::Hbm2e });
+        let timing = BankTiming::for_model(&model);
+        let mut ch = BankedDramChannel::new(model, timing);
+        let mut next = 0usize;
+        let mut enq_cycle = vec![0u64; bursts.len()];
+        let mut completions: Vec<(u64, u64)> = Vec::new(); // (tag, cycle)
+        for cycle in 0..2_000_000u64 {
+            if next < bursts.len() && cycle % gap == 0 {
+                let (burst, is_write) = bursts[next];
+                let req = BurstRequest {
+                    addr: burst * BURST_BYTES,
+                    is_write,
+                    tag: next as u64,
+                };
+                if ch.push(req).is_ok() {
+                    enq_cycle[next] = ch.cycle();
+                    next += 1;
+                }
+            }
+            for c in ch.tick() {
+                completions.push((c.tag, c.cycle));
+            }
+            if next == bursts.len() && ch.is_idle() {
+                break;
+            }
+        }
+        // Conservation: every pushed burst completes exactly once.
+        prop_assert_eq!(completions.len(), bursts.len(), "lost or duplicated bursts");
+        let mut seen: Vec<u64> = completions.iter().map(|&(t, _)| t).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), bursts.len());
+        prop_assert_eq!(ch.stats().served * BURST_BYTES, bursts.len() as u64 * BURST_BYTES);
+        // CAS lower bound on every completion's latency.
+        for &(tag, cycle) in &completions {
+            prop_assert!(
+                cycle >= enq_cycle[tag as usize] + timing.cas_latency,
+                "burst {} completed {} cycles after enqueue (CAS {})",
+                tag, cycle - enq_cycle[tag as usize], timing.cas_latency
+            );
+        }
+        // Per-bank FIFO: completions of one bank happen in push order.
+        for bank in 0..timing.banks {
+            let order: Vec<u64> = completions
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|&t| ch.bank_of(bursts[t as usize].0 * BURST_BYTES) == bank)
+                .collect();
+            prop_assert!(
+                order.windows(2).all(|w| w[0] < w[1]),
+                "bank {} completed out of FIFO order: {:?}",
+                bank, order
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! One-off capture of cycle-level memory-mode golden values (used to pin
+//! `MemTiming::CycleLevel` in `tests/determinism_golden.rs`): the banked
+//! channel's completion stream on two memory configs, and an
+//! atomic-heavy PageRank simulate under the cycle-level mode.
+
+use capstan::apps::App;
+use capstan::arch::spmu::driver::TraceRng;
+use capstan::core::config::{CapstanConfig, MemTiming, MemoryKind};
+use capstan::core::perf::simulate;
+use capstan::sim::dram::{BankTiming, BankedDramChannel, BurstRequest, DramModel, BURST_BYTES};
+use capstan::tensor::gen::Dataset;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv(hash: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *hash ^= byte as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Drives a banked channel with a deterministic mixed stream (sequential
+/// runs interrupted by scattered bursts), hashing every completion's
+/// `(tag, cycle)` in order.
+fn banked_stream(kind: capstan::sim::dram::MemoryKind, seed: u64) {
+    let model = DramModel::new(kind);
+    let mut ch = BankedDramChannel::new(model, BankTiming::for_model(&model));
+    let mut rng = TraceRng::new(seed);
+    let mut hash = FNV_OFFSET;
+    let mut pushed = 0u64;
+    let mut completed = 0u64;
+    let mut seq = 0u64;
+    let total = 3000u64;
+    for _ in 0..2_000_000u64 {
+        if pushed < total && rng.below(3) != 0 {
+            let burst = if rng.below(4) == 0 {
+                rng.below(1 << 16)
+            } else {
+                seq += 1;
+                seq
+            };
+            let req = BurstRequest {
+                addr: burst * BURST_BYTES,
+                is_write: rng.below(4) == 0,
+                tag: pushed,
+            };
+            if ch.push(req).is_ok() {
+                pushed += 1;
+            }
+        }
+        for c in ch.tick() {
+            fnv(&mut hash, c.tag);
+            fnv(&mut hash, c.cycle);
+            completed += 1;
+        }
+        if pushed == total && ch.is_idle() {
+            break;
+        }
+    }
+    let s = ch.stats();
+    println!(
+        "banked {kind:?} seed={seed:#X}: completions={completed} stream_hash=0x{hash:016X} \
+         cycle={} row_hits={} row_conflicts={} contention={} busy={} peak_q={}",
+        ch.cycle(),
+        s.row_hits,
+        s.row_conflicts,
+        s.contention_cycles,
+        s.bank_busy_cycles,
+        s.peak_bank_queue
+    );
+}
+
+fn main() {
+    use capstan::sim::dram::MemoryKind as SimMem;
+    banked_stream(SimMem::Ddr4, 0x00C1_C1E0);
+    banked_stream(SimMem::Hbm2e, 0x00C1_C1E1);
+
+    // Atomic-heavy end-to-end pin: edge-centric PageRank with the
+    // shuffle network removed (Table 11's "None" column) pushes every
+    // cross-tile update through DRAM atomics, exercising the AG inside
+    // the cycle-level memory mode.
+    let g = Dataset::WebStanford.generate_scaled(0.02);
+    let app = capstan::apps::pagerank::PrEdge::new(&g);
+    let mk = |memory| {
+        let mut cfg = CapstanConfig::new(memory);
+        cfg.shuffle = None;
+        cfg.mem_timing = MemTiming::CycleLevel;
+        cfg
+    };
+    let wl = app.build(&mk(MemoryKind::Hbm2e));
+    for (name, cfg) in [
+        ("hbm2e", mk(MemoryKind::Hbm2e)),
+        ("ddr4", mk(MemoryKind::Ddr4)),
+    ] {
+        let r = simulate(&wl, &cfg);
+        let m = r.mem.expect("cycle mode surfaces stats");
+        println!(
+            "simulate pr_edge_atomics/{name}: cycles={} active={} scan={} ls={} vl={} imb={} \
+             net={} sram={} dram={} util_bits=0x{:016X} memcycles={} row_conflicts={} \
+             contention={} ag_fetched={} ag_written={}",
+            r.cycles,
+            r.breakdown.active,
+            r.breakdown.scan,
+            r.breakdown.load_store,
+            r.breakdown.vector_length,
+            r.breakdown.imbalance,
+            r.breakdown.network,
+            r.breakdown.sram,
+            r.breakdown.dram,
+            r.sram_bank_utilization.to_bits(),
+            m.cycles,
+            m.row_conflicts,
+            m.contention_cycles,
+            m.ag_bursts_fetched,
+            m.ag_bursts_written
+        );
+    }
+}

@@ -374,6 +374,203 @@ fn network_heavy_simulate_is_bit_identical_to_golden() {
     }
 }
 
+/// Golden pins for the banked cycle-level DRAM channel
+/// (`MemTiming::CycleLevel`'s timing hook): a deterministic mixed
+/// stream (sequential runs interrupted by scattered bursts) must
+/// reproduce the exact completion sequence — `(tag, cycle)` hashed in
+/// order — plus the row/contention counters, on two memory configs.
+/// Captured via `examples/golden_capture_cyclemem.rs`.
+#[test]
+fn banked_channel_completion_stream_is_bit_identical_to_golden() {
+    use capstan::arch::spmu::driver::TraceRng;
+    use capstan::sim::dram::{
+        BankTiming, BankedDramChannel, BurstRequest, DramModel, MemoryKind as SimMem, BURST_BYTES,
+    };
+
+    struct Golden {
+        kind: SimMem,
+        seed: u64,
+        stream_hash: u64,
+        cycle: u64,
+        row_hits: u64,
+        row_conflicts: u64,
+        contention: u64,
+        busy: u64,
+        peak_q: usize,
+    }
+    let golden = [
+        Golden {
+            kind: SimMem::Ddr4,
+            seed: 0x00C1_C1E0,
+            stream_hash: 0xF0F48A42E2CCAAF9,
+            cycle: 8075,
+            row_hits: 1180,
+            row_conflicts: 1804,
+            contention: 4_375_654,
+            busy: 112_140,
+            peak_q: 64,
+        },
+        Golden {
+            kind: SimMem::Hbm2e,
+            seed: 0x00C1_C1E1,
+            stream_hash: 0xB6489EE1B418DD63,
+            cycle: 4635,
+            row_hits: 1206,
+            row_conflicts: 1778,
+            contention: 37,
+            busy: 4794,
+            peak_q: 9,
+        },
+    ];
+    for g in golden {
+        let model = DramModel::new(g.kind);
+        let mut ch = BankedDramChannel::new(model, BankTiming::for_model(&model));
+        let mut rng = TraceRng::new(g.seed);
+        let mut hash = FNV_OFFSET;
+        let mut pushed = 0u64;
+        let mut completed = 0u64;
+        let mut seq = 0u64;
+        let total = 3000u64;
+        for _ in 0..2_000_000u64 {
+            if pushed < total && rng.below(3) != 0 {
+                let burst = if rng.below(4) == 0 {
+                    rng.below(1 << 16)
+                } else {
+                    seq += 1;
+                    seq
+                };
+                let req = BurstRequest {
+                    addr: burst * BURST_BYTES,
+                    is_write: rng.below(4) == 0,
+                    tag: pushed,
+                };
+                if ch.push(req).is_ok() {
+                    pushed += 1;
+                }
+            }
+            for c in ch.tick() {
+                fnv(&mut hash, c.tag);
+                fnv(&mut hash, c.cycle);
+                completed += 1;
+            }
+            if pushed == total && ch.is_idle() {
+                break;
+            }
+        }
+        let label = format!("{:?}", g.kind);
+        assert_eq!(completed, total, "{label} lost completions");
+        assert_eq!(hash, g.stream_hash, "{label} completion stream drifted");
+        assert_eq!(ch.cycle(), g.cycle, "{label} drain cycle drifted");
+        let s = ch.stats();
+        assert_eq!(s.row_hits, g.row_hits, "{label} row hits drifted");
+        assert_eq!(
+            s.row_conflicts, g.row_conflicts,
+            "{label} row conflicts drifted"
+        );
+        assert_eq!(
+            s.contention_cycles, g.contention,
+            "{label} contention drifted"
+        );
+        assert_eq!(s.bank_busy_cycles, g.busy, "{label} occupancy drifted");
+        assert_eq!(s.peak_bank_queue, g.peak_q, "{label} peak queue drifted");
+    }
+}
+
+/// Golden pins for an atomic-heavy end-to-end simulate under the
+/// cycle-level memory mode: edge-centric PageRank with the shuffle
+/// network removed (Table 11's "None" column) pushes every cross-tile
+/// update through DRAM atomics, exercising the AG slab behind
+/// `MemSysSim`. Captured via `examples/golden_capture_cyclemem.rs`.
+#[test]
+fn cycle_level_atomic_pagerank_is_bit_identical_to_golden() {
+    use capstan::core::config::MemTiming;
+
+    let g = Dataset::WebStanford.generate_scaled(0.02);
+    let app = capstan::apps::pagerank::PrEdge::new(&g);
+    let mk = |memory| {
+        let mut cfg = CapstanConfig::new(memory);
+        cfg.shuffle = None;
+        cfg.mem_timing = MemTiming::CycleLevel;
+        cfg
+    };
+    let wl = app.build(&mk(MemoryKind::Hbm2e));
+    // (memory, cycles, [active, scan, ls, vl, imb, net, sram, dram],
+    //  mem cycles, row conflicts, contention, ag fetched, ag written)
+    struct Golden {
+        memory: MemoryKind,
+        cycles: u64,
+        breakdown: [u64; 8],
+        mem_cycles: u64,
+        row_conflicts: u64,
+        contention: u64,
+        ag_fetched: u64,
+        ag_written: u64,
+    }
+    let golden = [
+        Golden {
+            memory: MemoryKind::Hbm2e,
+            cycles: 23_210,
+            breakdown: [102, 0, 90, 0, 221, 0, 306, 22_491],
+            mem_cycles: 23_210,
+            row_conflicts: 688,
+            contention: 8485,
+            ag_fetched: 36_881,
+            ag_written: 36_881,
+        },
+        Golden {
+            memory: MemoryKind::Ddr4,
+            cycles: 294_504,
+            breakdown: [102, 0, 90, 0, 221, 0, 306, 293_785],
+            mem_cycles: 294_504,
+            row_conflicts: 688,
+            contention: 3_922_515,
+            ag_fetched: 36_790,
+            ag_written: 36_790,
+        },
+    ];
+    for g in golden {
+        let r = simulate(&wl, &mk(g.memory));
+        let b = r.breakdown;
+        assert_eq!(
+            (
+                r.cycles,
+                [
+                    b.active,
+                    b.scan,
+                    b.load_store,
+                    b.vector_length,
+                    b.imbalance,
+                    b.network,
+                    b.sram,
+                    b.dram
+                ]
+            ),
+            (g.cycles, g.breakdown),
+            "pr_edge_atomics/{:?} drifted",
+            g.memory
+        );
+        let m = r.mem.expect("cycle mode surfaces stats");
+        assert_eq!(m.cycles, g.mem_cycles, "{:?} mem cycles drifted", g.memory);
+        assert_eq!(
+            m.row_conflicts, g.row_conflicts,
+            "{:?} row conflicts drifted",
+            g.memory
+        );
+        assert_eq!(
+            m.contention_cycles, g.contention,
+            "{:?} contention drifted",
+            g.memory
+        );
+        assert_eq!(
+            (m.ag_bursts_fetched, m.ag_bursts_written),
+            (g.ag_fetched, g.ag_written),
+            "{:?} AG burst counts drifted",
+            g.memory
+        );
+        assert!(m.atomic_words > 0, "workload must exercise the atomic path");
+    }
+}
+
 #[test]
 fn repeated_runs_are_identical() {
     // Same seed, same everything: the engine must be a pure function.

@@ -1,0 +1,187 @@
+//! Differential tests between the two memory-timing modes.
+//!
+//! The cycle-level mode (`MemTiming::CycleLevel`) replays DRAM traffic
+//! through a banked channel and a real address generator whose timing
+//! parameters are *derived* from the analytic `DramModel`'s efficiency
+//! constants, so the two modes must stay coupled: the cycle-level drain
+//! can add contention the closed form cannot see (slower is expected),
+//! but it must never beat the analytic rate on traffic the closed form
+//! prices tightly, and on contention-free streaming the two must agree
+//! within a bounded ratio. Atomic traffic additionally must be strictly
+//! monotone: more RMW words can never make the cycle-level drain faster.
+
+use capstan::core::config::{CapstanConfig, MemTiming, MemoryKind};
+use capstan::core::perf::simulate;
+use capstan::core::program::{Workload, WorkloadBuilder};
+use capstan::core::report::PerfReport;
+
+/// Builds a one-knob DRAM workload: `tiles` tiles, each with the given
+/// streaming bytes, random words, and atomic words (plus a little lane
+/// work so the recording is well-formed).
+fn dram_workload(
+    tiles: usize,
+    stream_bytes: usize,
+    random_words: u64,
+    atomic_words: u64,
+) -> Workload {
+    let mut wl = WorkloadBuilder::new("dram-grid");
+    for _ in 0..tiles {
+        let mut t = wl.tile();
+        t.foreach_vec(256, |_, _| {});
+        t.dram_stream_read(stream_bytes);
+        t.dram_random_read(random_words);
+        t.dram_atomic(atomic_words);
+        wl.commit(t);
+    }
+    wl.finish()
+}
+
+fn both_modes(w: &Workload, memory: MemoryKind) -> (PerfReport, PerfReport) {
+    let mut analytic = CapstanConfig::new(memory);
+    analytic.mem_timing = MemTiming::Analytic;
+    let mut cycle = analytic;
+    cycle.mem_timing = MemTiming::CycleLevel;
+    (simulate(w, &analytic), simulate(w, &cycle))
+}
+
+#[test]
+fn streaming_only_agrees_within_a_bounded_ratio() {
+    // Contention-free streaming: sequential bursts rotate cleanly
+    // across banks and mostly row-hit, so the banked channel earns
+    // nearly the analytic streaming rate. The CAS pipeline fill and the
+    // row-activation boundaries are the only extra costs.
+    for memory in [MemoryKind::Ddr4, MemoryKind::Hbm2, MemoryKind::Hbm2e] {
+        let w = dram_workload(8, 1 << 20, 0, 0);
+        let (a, c) = both_modes(&w, memory);
+        let ratio = c.cycles as f64 / a.cycles as f64;
+        assert!(
+            (0.95..2.0).contains(&ratio),
+            "{memory:?}: streaming ratio {ratio:.3} (analytic {}, cycle {})",
+            a.cycles,
+            c.cycles
+        );
+        let stats = c.mem.expect("cycle mode surfaces stats");
+        assert!(stats.row_hits > stats.row_conflicts, "{stats:?}");
+    }
+}
+
+#[test]
+fn random_only_never_beats_the_analytic_rate() {
+    // The banked row-miss penalty is derived so all-miss throughput
+    // sits at or below the analytic random efficiency; scattered reads
+    // must therefore drain no faster than the closed form (tolerance
+    // covers the final partial burst and pipeline drain).
+    for memory in [MemoryKind::Ddr4, MemoryKind::Hbm2e] {
+        let w = dram_workload(8, 0, 4096, 0);
+        let (a, c) = both_modes(&w, memory);
+        assert!(
+            c.cycles as f64 >= a.cycles as f64 * 0.95,
+            "{memory:?}: cycle {} < analytic {}",
+            c.cycles,
+            a.cycles
+        );
+        let stats = c.mem.expect("cycle mode surfaces stats");
+        assert!(stats.row_conflicts > 0);
+        assert!(stats.contention_cycles > 0);
+    }
+}
+
+#[test]
+fn atomic_heavy_pays_for_ag_serialization() {
+    // Uniform scatter over the AG region coalesces poorly: each atomic
+    // pays a fetch and (on eviction) a writeback through the AG's own
+    // channel, plus locked read-after-writeback holds — the analytic
+    // 128-bytes-per-atomic estimate is a floor here, not a ceiling.
+    // Coalescing can legitimately undercut the closed form, so the
+    // lower bound carries a generous tolerance; the AG burst counters
+    // prove the traffic really flowed through the slab.
+    for memory in [MemoryKind::Ddr4, MemoryKind::Hbm2e] {
+        let w = dram_workload(8, 0, 0, 4096);
+        let (a, c) = both_modes(&w, memory);
+        assert!(
+            c.cycles as f64 >= a.cycles as f64 * 0.5,
+            "{memory:?}: cycle {} implausibly beat analytic {}",
+            c.cycles,
+            a.cycles
+        );
+        let stats = c.mem.expect("cycle mode surfaces stats");
+        assert!(stats.ag_bursts_fetched > 0);
+        assert!(stats.ag_bursts_written > 0);
+        assert_eq!(stats.atomic_words, 8 * 4096);
+    }
+}
+
+#[test]
+fn mixed_traffic_overlaps_but_respects_the_bandwidth_floor() {
+    // The analytic model serializes the stream and random components
+    // (sum of transfer times); the banked channel genuinely overlaps
+    // them, so the cycle-level drain may undercut the analytic *sum* —
+    // but never the bandwidth floor of either component alone.
+    let w = dram_workload(8, 1 << 19, 2048, 1024);
+    for memory in [MemoryKind::Ddr4, MemoryKind::Hbm2e] {
+        let (a, c) = both_modes(&w, memory);
+        let stream_only = both_modes(&dram_workload(8, 1 << 19, 0, 0), memory).0;
+        assert!(
+            c.cycles >= stream_only.cycles,
+            "{memory:?}: mixed cycle {} beat its streaming floor {}",
+            c.cycles,
+            stream_only.cycles
+        );
+        assert!(
+            c.cycles as f64 >= a.cycles as f64 * 0.45,
+            "{memory:?}: cycle {} fell below the analytic band ({})",
+            c.cycles,
+            a.cycles
+        );
+        assert!(
+            c.cycles as f64 <= a.cycles as f64 * 3.0,
+            "{memory:?}: cycle {} diverged above the analytic band ({})",
+            c.cycles,
+            a.cycles
+        );
+    }
+}
+
+#[test]
+fn cycle_level_is_strictly_monotone_in_atomic_words() {
+    // Sweeping only the atomic intensity (the banked traffic is
+    // byte-identical across the sweep — the driver keeps independent
+    // address streams for exactly this reason) must strictly increase
+    // the cycle-level drain.
+    for memory in [MemoryKind::Ddr4, MemoryKind::Hbm2e] {
+        let mut last = None;
+        for atomic_words in [512u64, 2048, 8192, 32_768] {
+            let w = dram_workload(4, 1 << 16, 512, atomic_words);
+            let (_, c) = both_modes(&w, memory);
+            if let Some(prev) = last {
+                assert!(
+                    c.cycles > prev,
+                    "{memory:?}: {atomic_words} atomic words gave {} cycles, not above {prev}",
+                    c.cycles
+                );
+            }
+            last = Some(c.cycles);
+        }
+    }
+}
+
+#[test]
+fn modes_agree_exactly_when_memory_is_ideal() {
+    let w = dram_workload(4, 1 << 18, 1024, 1024);
+    let (a, c) = both_modes(&w, MemoryKind::Ideal);
+    assert_eq!(
+        a.cycles, c.cycles,
+        "ideal memory must cost zero in both modes"
+    );
+    assert!(c.mem.is_none());
+}
+
+#[test]
+fn cycle_level_report_is_reproducible() {
+    // Two simulations of the same workload must agree bit-for-bit —
+    // the determinism contract golden tests and CI byte-diffs build on.
+    let w = dram_workload(8, 1 << 18, 2048, 4096);
+    let (_, c1) = both_modes(&w, MemoryKind::Hbm2e);
+    let (_, c2) = both_modes(&w, MemoryKind::Hbm2e);
+    assert_eq!(c1, c2);
+}
