@@ -250,6 +250,39 @@ impl AddressGenerator {
         self.transitioning == 0 && self.waiting_total == 0 && self.channel.is_idle()
     }
 
+    /// Returns the AG to its as-constructed state — zeroed memory, empty
+    /// slab, no in-flight transfers — without releasing any buffer
+    /// capacity. A reset AG is behaviorally indistinguishable from a
+    /// fresh one (same completion stream for the same submissions),
+    /// which is what lets the persistent per-thread memory driver reuse
+    /// AGs across `simulate` calls while keeping cycle counts
+    /// bit-identical to the construct-per-call path, and what keeps the
+    /// reuse path allocation-free (proven in
+    /// `crates/arch/tests/alloc_free.rs`).
+    pub fn reset(&mut self) {
+        self.memory.fill(0.0);
+        self.channel.reset();
+        self.slots.clear();
+        self.slot_free.clear();
+        self.slot_of.fill(NO_SLOT);
+        self.retry.clear();
+        self.retry_scratch.clear();
+        self.resident.clear();
+        self.inflight.clear();
+        self.inflight_free.clear();
+        self.waiter_pool.clear();
+        self.node_free.clear();
+        self.transitioning = 0;
+        self.waiting_total = 0;
+        self.results.clear();
+        self.done.clear();
+        self.completion_scratch.clear();
+        self.bursts_fetched = 0;
+        self.bursts_written = 0;
+        self.submitted_total = 0;
+        self.completed_total = 0;
+    }
+
     /// Allocates a slot for `burst` (reusing a recycled one when
     /// available) and records it in the dense index.
     fn alloc_slot(&mut self, burst: u64, state: BurstState) -> u32 {
@@ -722,6 +755,37 @@ mod tests {
             "slab grew to {} slots; recycling is broken",
             ag.slots.len()
         );
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_run() {
+        let run = |ag: &mut AddressGenerator| {
+            for b in 0..16u64 {
+                ag.submit(DramAccess {
+                    addr: (b * 37) % 4096,
+                    op: if b % 3 == 0 { RmwOp::Read } else { RmwOp::AddF },
+                    operand: b as f32,
+                    tag: b,
+                });
+            }
+            let results = run_until_idle(ag, 40_000);
+            ag.flush();
+            run_until_idle(ag, 40_000);
+            (
+                results,
+                ag.bursts_fetched(),
+                ag.bursts_written(),
+                ag.cycle(),
+            )
+        };
+        let mut fresh = new_ag();
+        let first = run(&mut fresh);
+        fresh.reset();
+        assert!(fresh.is_idle());
+        assert_eq!(fresh.outstanding(), 0);
+        assert_eq!(fresh.peek(37), 0.0, "reset must zero the backing memory");
+        let second = run(&mut fresh);
+        assert_eq!(first, second, "reset run diverged from fresh run");
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! * [`ag`] — DRAM **address generators** (§3.4): burst tracking, atomic
 //!   DRAM read-modify-writes, and the read-only decompressor.
 //! * [`memdrv`] — the cycle-level memory-system driver
-//!   (`MemTiming::CycleLevel`): tile DRAM traffic replayed through a
-//!   banked channel and a real AG, ticked in lockstep.
+//!   (`MemTiming::CycleLevel`): tile DRAM traffic replayed through N
+//!   region channels (banked DRAM channels behind a deterministic
+//!   crossbar) and N per-region AGs, all ticked in lockstep — the
+//!   multi-channel topology behind the paper's per-AG memory regions.
 //! * [`cu`] — the compute-unit pipeline model (16 lanes × 6 stages,
 //!   scanner-only mode, §4.1/§3.3).
 //! * [`fmtconv`] — the compute-tile format converter (pointers →

@@ -7,32 +7,63 @@
 //! (Graphicionado, SpArch). [`MemSysSim`] is the cycle-level
 //! alternative: it replays each tile's recorded DRAM traffic — streaming
 //! bursts, random/pointer words, and atomic read-modify-write words —
-//! through a *real* [`BankedDramChannel`] (streams and random reads) and
-//! a *real* [`AddressGenerator`] (atomics, with open-burst coalescing,
-//! locked read-after-writeback, and dirty-burst eviction), ticking both
-//! in lockstep until the traffic drains.
+//! through *real* simulated units, ticked in lockstep until the traffic
+//! drains.
+//!
+//! # Multi-channel topology
+//!
+//! Capstan attaches its 80 address generators to mutually-exclusive
+//! memory regions (paper §3.4, Table 7), so DRAM bandwidth and atomic
+//! serialization are **per-region** effects. The driver models this
+//! with [`MemSysConfig::channels`] independent region channels behind a
+//! deterministic crossbar:
+//!
+//! * Streaming and random bursts route through a
+//!   [`ChannelArray`] — N [`capstan_sim::dram::BankedDramChannel`]s
+//!   whose crossbar maps a
+//!   burst address to its owning channel by the address's *region bits*
+//!   (the bits above the DRAM row index), so rows stay whole and
+//!   consecutive rows rotate across channels.
+//! * Atomic words route through N per-region [`AddressGenerator`]s: the
+//!   atomic address space is `channels x ag_region_words` words, and the
+//!   high region bits of each generated address select the owning AG
+//!   (each AG sees only its own `ag_region_words`-word region, the
+//!   paper's mutually-exclusive-region contract).
+//!
+//! `channels = 1` (the default) degenerates to exactly the
+//! single-channel, single-AG topology — bit-identical to it, which is
+//! what keeps the committed golden pins in
+//! `tests/determinism_golden.rs` valid under the default configuration.
+//! Paper scale is [`PAPER_CHANNELS`] (one channel per AG).
 //!
 //! # Determinism contract
 //!
 //! The driver consults no randomness and no wall-clock time: streaming
-//! addresses are sequential, scattered addresses come from a fixed
-//! SplitMix-style counter generator, and both simulated units are
-//! deterministic, so the resulting cycle count — and the completion
-//! stream pinned by `tests/determinism_golden.rs` — is
-//! machine-independent and identical across `CAPSTAN_THREADS` settings.
+//! addresses are sequential, scattered addresses come from fixed
+//! SplitMix-style counter generators (one `AddressStream` per traffic
+//! class, constructed by the same parameterized constructor so the
+//! classes cannot drift), the crossbar route is a pure function of the
+//! address, and every simulated unit is deterministic — so the
+//! resulting cycle count, and the completion stream pinned by
+//! `tests/determinism_golden.rs`, is machine-independent and identical
+//! across `CAPSTAN_THREADS` settings.
 //!
 //! # Allocation contract
 //!
-//! Every buffer is either fixed at construction (the banked channel's
-//! per-bank queues, its completion buffer) or grows to a bounded
-//! high-water mark during warm-up (the AG's slab and waiter arena,
+//! Every buffer is either fixed at construction (the channels' per-bank
+//! queues, the merged completion buffer) or grows to a bounded
+//! high-water mark during warm-up (each AG's slab and waiter arena,
 //! bounded by the outstanding-access window). The steady-state
-//! [`MemSysSim::tick`] loop performs **zero** heap allocations — proven
-//! by the counting-allocator test in `crates/arch/tests/alloc_free.rs`.
+//! [`MemSysSim::tick`] loop performs **zero** heap allocations, and so
+//! does the persistent-driver reuse path ([`MemSysSim::reset`] +
+//! replay) — both proven by the counting-allocator tests in
+//! `crates/arch/tests/alloc_free.rs`.
 
 use crate::ag::{AddressGenerator, DramAccess};
 use crate::spmu::RmwOp;
-use capstan_sim::dram::{BankTiming, BankedDramChannel, BurstRequest, DramModel, BURST_BYTES};
+use capstan_sim::dram::{
+    BankTiming, BankedStats, BurstRequest, ChannelArray, DramModel, BURST_BYTES,
+};
 
 /// One tile's DRAM traffic, as recorded by the workload builder.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,63 +72,92 @@ pub struct TileTraffic {
     pub stream_bursts: u64,
     /// Independent random-read bursts (pointer chasing).
     pub random_bursts: u64,
-    /// Atomic read-modify-write words routed through the AG.
+    /// Atomic read-modify-write words routed through the AGs.
     pub atomic_words: u64,
 }
 
-/// Aggregate statistics of one cycle-level memory simulation.
+/// Aggregate statistics of one cycle-level memory simulation, rolled up
+/// across every region channel and AG (per-channel breakdowns are
+/// available through [`MemSysSim::channel_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Cycles until the last burst drained (the DRAM time).
     pub cycles: u64,
+    /// Region channels (and per-region AGs) the simulation ran with.
+    pub channels: u64,
     /// Streaming bursts replayed.
     pub stream_bursts: u64,
     /// Random bursts replayed.
     pub random_bursts: u64,
-    /// Atomic words replayed through the AG.
+    /// Atomic words replayed through the AGs.
     pub atomic_words: u64,
-    /// Banked-channel row hits.
+    /// Row hits, summed over channels.
     pub row_hits: u64,
-    /// Banked-channel row conflicts (an open row was closed).
+    /// Row conflicts (an open row was closed), summed over channels.
     pub row_conflicts: u64,
-    /// Cycles requests waited in bank queues beyond the CAS latency.
+    /// Cycles requests waited in bank queues beyond the CAS latency,
+    /// summed over channels.
     pub contention_cycles: u64,
-    /// Cycles banks spent busy, summed over banks (occupancy).
+    /// Cycles banks spent busy, summed over banks and channels.
     pub bank_busy_cycles: u64,
-    /// Highest per-bank queue occupancy observed.
+    /// Highest per-bank queue occupancy observed on any channel.
     pub peak_bank_queue: u64,
-    /// Bursts the AG fetched for atomic execution.
+    /// Bursts the AGs fetched for atomic execution, summed.
     pub ag_bursts_fetched: u64,
-    /// Dirty bursts the AG wrote back.
+    /// Dirty bursts the AGs wrote back, summed.
     pub ag_bursts_written: u64,
 }
+
+/// Paper-scale channel count: one region channel per address generator
+/// (80 AGs, Table 7).
+pub const PAPER_CHANNELS: usize = 80;
 
 /// Configuration of the cycle-level memory driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemSysConfig {
-    /// Banked-channel timing (banks, queues, CAS latency, row size).
+    /// Banked-channel timing (banks, queues, CAS latency, row size),
+    /// applied to every region channel.
     pub timing: BankTiming,
-    /// Words in the AG's atomic region (addresses wrap into it).
+    /// Independent region channels (each pairing one banked DRAM
+    /// channel with one AG region). 1 — the default — reproduces the
+    /// single-channel topology bit-for-bit; [`PAPER_CHANNELS`] is the
+    /// paper's design point.
+    pub channels: usize,
+    /// Words in each AG's atomic region (addresses wrap into the
+    /// combined `channels x ag_region_words` space and the high region
+    /// bits select the owning AG).
     pub ag_region_words: usize,
-    /// Simultaneously open bursts the AG tracks (§3.4's burst cache).
+    /// Simultaneously open bursts each AG tracks (§3.4's burst cache).
     pub ag_open_bursts: usize,
     /// Memory requests the fabric can issue per cycle (all AGs
     /// combined).
     pub issue_width: usize,
-    /// Outstanding-atomic window: submissions throttle above this, which
-    /// bounds the AG's internal state (see the allocation contract).
+    /// Outstanding-atomic window *per AG*: submissions throttle above
+    /// this, which bounds each AG's internal state (see the allocation
+    /// contract).
     pub max_outstanding_atomics: u64,
 }
 
 impl MemSysConfig {
-    /// The default driver geometry for a memory system.
+    /// The default driver geometry for a memory system (one region
+    /// channel — the bit-compatible topology every committed golden
+    /// value was captured under).
     pub fn for_model(model: &DramModel) -> Self {
         MemSysConfig {
             timing: BankTiming::for_model(model),
+            channels: 1,
             ag_region_words: 1 << 16,
             ag_open_bursts: 64,
             issue_width: 16,
             max_outstanding_atomics: 256,
+        }
+    }
+
+    /// The default geometry with `channels` region channels.
+    pub fn with_channels(model: &DramModel, channels: usize) -> Self {
+        MemSysConfig {
+            channels: channels.max(1),
+            ..MemSysConfig::for_model(model)
         }
     }
 }
@@ -111,20 +171,72 @@ fn splitmix(state: u64) -> (u64, u64) {
     (next, z ^ (z >> 31))
 }
 
+/// A deterministic scattered-address stream for one traffic class: a
+/// SplitMix64 counter generator whose values wrap into the class's
+/// address span.
+///
+/// Every scattered class (random reads, atomics) is built by the same
+/// [`AddressStream::new`] constructor, parameterized only by seed and
+/// span — so the per-region steering, which divides the generated
+/// address by the per-region size, can never drift between classes.
+/// Peek/advance are split so a backpressured request retries the *same*
+/// address next cycle (the stream only advances on acceptance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AddressStream {
+    seed: u64,
+    state: u64,
+    /// Modulus the raw SplitMix value wraps into (a burst or word count).
+    span: u64,
+}
+
+impl AddressStream {
+    /// A stream over `[0, span)` with the given seed.
+    fn new(seed: u64, span: u64) -> Self {
+        debug_assert!(span > 0, "address stream needs a non-empty span");
+        AddressStream {
+            seed,
+            state: seed,
+            span,
+        }
+    }
+
+    /// The next address, without consuming it.
+    fn peek(&self) -> u64 {
+        splitmix(self.state).1 % self.span
+    }
+
+    /// Consumes the peeked address.
+    fn advance(&mut self) {
+        self.state = splitmix(self.state).0;
+    }
+
+    /// Rewinds the stream to its seed (the persistent-driver reset).
+    fn reset(&mut self) {
+        self.state = self.seed;
+    }
+}
+
 /// Base byte address of the streaming region (clear of the scattered
 /// region so the two traffic classes never alias rows).
 const STREAM_BASE: u64 = 1 << 40;
 /// Scattered random reads spread over this many bursts (64 MiB).
 const RANDOM_REGION_BURSTS: u64 = 1 << 20;
+/// Seed of the scattered-read address stream.
+const RANDOM_SEED: u64 = 0x00C0_FFEE_D00D_F00D;
+/// Seed of the atomic address stream.
+const ATOMIC_SEED: u64 = 0x0A70_3A1C_5EED_0001;
 
-/// The cycle-level memory-system simulator: a banked DRAM channel for
-/// streaming and random bursts plus an [`AddressGenerator`] for atomic
-/// read-modify-writes, ticked in lockstep. See the module docs for the
-/// determinism and allocation contracts.
+/// The cycle-level memory-system simulator: N region channels (a
+/// [`ChannelArray`] of banked DRAM channels) for streaming and random
+/// bursts plus N per-region [`AddressGenerator`]s for atomic
+/// read-modify-writes, all ticked in lockstep. See the module docs for
+/// the topology, determinism, and allocation contracts.
 #[derive(Debug)]
 pub struct MemSysSim {
-    channel: BankedDramChannel,
-    ag: AddressGenerator,
+    channels: ChannelArray,
+    /// One AG per region channel, selected by the atomic address's
+    /// region bits.
+    ags: Vec<AddressGenerator>,
     cfg: MemSysConfig,
     pending_stream: u64,
     pending_random: u64,
@@ -135,10 +247,11 @@ pub struct MemSysSim {
     stream_cursor: u64,
     /// Scattered-read address stream. Independent from the atomic
     /// stream so sweeping atomic intensity never perturbs the banked
-    /// channel's traffic (monotonicity of the sweep depends on it).
-    rng_random: u64,
-    /// Atomic address stream.
-    rng_atomic: u64,
+    /// channels' traffic (monotonicity of the sweep depends on it).
+    random_stream: AddressStream,
+    /// Atomic address stream over the combined
+    /// `channels x ag_region_words` region space.
+    atomic_stream: AddressStream,
     next_tag: u64,
     /// Channel requests in flight (pushed minus completed).
     inflight: u64,
@@ -154,10 +267,17 @@ impl MemSysSim {
     }
 
     /// Creates a driver with an explicit geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.channels` is zero.
     pub fn with_config(model: DramModel, cfg: MemSysConfig) -> Self {
+        assert!(cfg.channels > 0, "memory system needs at least one channel");
         MemSysSim {
-            channel: BankedDramChannel::new(model, cfg.timing),
-            ag: AddressGenerator::new(model, cfg.ag_region_words, cfg.ag_open_bursts),
+            channels: ChannelArray::new(model, cfg.timing, cfg.channels),
+            ags: (0..cfg.channels)
+                .map(|_| AddressGenerator::new(model, cfg.ag_region_words, cfg.ag_open_bursts))
+                .collect(),
             cfg,
             pending_stream: 0,
             pending_random: 0,
@@ -166,14 +286,22 @@ impl MemSysSim {
             total_random: 0,
             total_atomic: 0,
             stream_cursor: 0,
-            rng_random: 0x00C0_FFEE_D00D_F00D,
-            rng_atomic: 0x0A70_3A1C_5EED_0001,
+            random_stream: AddressStream::new(RANDOM_SEED, RANDOM_REGION_BURSTS),
+            atomic_stream: AddressStream::new(
+                ATOMIC_SEED,
+                cfg.ag_region_words as u64 * cfg.channels as u64,
+            ),
             next_tag: 0,
             inflight: 0,
             cycles: 0,
             flushed: false,
             cycles_recorded: 0,
         }
+    }
+
+    /// The driver geometry.
+    pub fn config(&self) -> &MemSysConfig {
+        &self.cfg
     }
 
     /// Queues one tile's traffic for replay.
@@ -194,20 +322,23 @@ impl MemSysSim {
             && self.pending_random == 0
             && self.pending_atomic == 0
             && self.inflight == 0
-            && self.channel.is_idle()
-            && self.ag.outstanding() == 0
-            && self.ag.is_idle()
+            && self.channels.is_idle()
+            && self
+                .ags
+                .iter()
+                .all(|ag| ag.outstanding() == 0 && ag.is_idle())
     }
 
     /// Whether every queued burst and atomic has drained (including the
-    /// AG's end-of-kernel dirty flush).
+    /// AGs' end-of-kernel dirty flush).
     pub fn is_done(&self) -> bool {
         self.drained() && self.flushed
     }
 
     /// Advances the memory system one cycle: issues up to `issue_width`
-    /// requests round-robin across the three traffic classes, then ticks
-    /// the banked channel and the AG in lockstep.
+    /// requests round-robin across the three traffic classes (each
+    /// request crossbar-routed to its region channel or region AG), then
+    /// ticks every channel and every AG in lockstep.
     pub fn tick(&mut self) {
         let mut budget = self.cfg.issue_width;
         let mut progress = true;
@@ -219,7 +350,7 @@ impl MemSysSim {
                     is_write: false,
                     tag: self.next_tag,
                 };
-                if self.channel.push(req).is_ok() {
+                if self.channels.push(req).is_ok() {
                     self.next_tag += 1;
                     self.stream_cursor += 1;
                     self.pending_stream -= 1;
@@ -229,14 +360,13 @@ impl MemSysSim {
                 }
             }
             if budget > 0 && self.pending_random > 0 {
-                let (next, val) = splitmix(self.rng_random);
                 let req = BurstRequest {
-                    addr: (val % RANDOM_REGION_BURSTS) * BURST_BYTES,
+                    addr: self.random_stream.peek() * BURST_BYTES,
                     is_write: false,
                     tag: self.next_tag,
                 };
-                if self.channel.push(req).is_ok() {
-                    self.rng_random = next;
+                if self.channels.push(req).is_ok() {
+                    self.random_stream.advance();
                     self.next_tag += 1;
                     self.pending_random -= 1;
                     self.inflight += 1;
@@ -245,15 +375,19 @@ impl MemSysSim {
                 }
             }
             if budget > 0 && self.pending_atomic > 0 {
-                let (next, val) = splitmix(self.rng_atomic);
+                // The atomic stream spans all regions; the high region
+                // bits select the owning AG and the low bits address
+                // into its private region.
+                let word = self.atomic_stream.peek();
+                let region = (word / self.cfg.ag_region_words as u64) as usize;
                 let access = DramAccess {
-                    addr: val % self.cfg.ag_region_words as u64,
+                    addr: word % self.cfg.ag_region_words as u64,
                     op: RmwOp::AddF,
                     operand: 1.0,
                     tag: self.next_tag,
                 };
-                if self.ag.try_submit(access, self.cfg.max_outstanding_atomics) {
-                    self.rng_atomic = next;
+                if self.ags[region].try_submit(access, self.cfg.max_outstanding_atomics) {
+                    self.atomic_stream.advance();
                     self.next_tag += 1;
                     self.pending_atomic -= 1;
                     budget -= 1;
@@ -261,12 +395,14 @@ impl MemSysSim {
                 }
             }
         }
-        self.inflight -= self.channel.tick().len() as u64;
-        let _ = self.ag.tick();
+        self.inflight -= self.channels.tick().len() as u64;
+        for ag in &mut self.ags {
+            let _ = ag.tick();
+        }
         self.cycles += 1;
     }
 
-    /// Ticks until every queued burst and atomic (and the AG's dirty
+    /// Ticks until every queued burst and atomic (and the AGs' dirty
     /// flush) has drained, then returns the statistics. The simulated
     /// tick count is added to the process-wide simulated-cycle counter
     /// exactly once per drained batch.
@@ -284,8 +420,10 @@ impl MemSysSim {
                 // channel backpressure (they stay `Open { dirty }`), so
                 // a single round is not guaranteed to drain a dirty set
                 // larger than the channel queue.
-                self.ag.flush();
-                if self.ag.is_idle() {
+                for ag in &mut self.ags {
+                    ag.flush();
+                }
+                if self.ags.iter().all(AddressGenerator::is_idle) {
                     self.flushed = true;
                     break;
                 }
@@ -310,17 +448,19 @@ impl MemSysSim {
     /// Forward-progress fingerprint for the deadlock check.
     fn watermark(&self) -> (u64, u64, u64) {
         (
-            self.channel.stats().served,
-            self.ag.completed(),
+            self.channels.served(),
+            self.ags.iter().map(AddressGenerator::completed).sum(),
             self.pending_stream + self.pending_random + self.pending_atomic,
         )
     }
 
-    /// Statistics so far (complete after [`MemSysSim::run`] returns).
+    /// Statistics so far, rolled up across every region channel and AG
+    /// (complete after [`MemSysSim::run`] returns).
     pub fn stats(&self) -> MemStats {
-        let b = self.channel.stats();
+        let b = self.channels.stats();
         MemStats {
             cycles: self.cycles,
+            channels: self.cfg.channels as u64,
             stream_bursts: self.total_stream,
             random_bursts: self.total_random,
             atomic_words: self.total_atomic,
@@ -329,14 +469,57 @@ impl MemSysSim {
             contention_cycles: b.contention_cycles,
             bank_busy_cycles: b.bank_busy_cycles,
             peak_bank_queue: b.peak_bank_queue as u64,
-            ag_bursts_fetched: self.ag.bursts_fetched(),
-            ag_bursts_written: self.ag.bursts_written(),
+            ag_bursts_fetched: self.ags.iter().map(AddressGenerator::bursts_fetched).sum(),
+            ag_bursts_written: self.ags.iter().map(AddressGenerator::bursts_written).sum(),
         }
+    }
+
+    /// Statistics of one region channel (the un-rolled-up view; `i` is
+    /// the crossbar's channel index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.config().channels`.
+    pub fn channel_stats(&self, i: usize) -> BankedStats {
+        self.channels.channel_stats(i)
     }
 
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycles
+    }
+
+    /// Returns the driver to its as-constructed state — empty channels,
+    /// reset AGs, rewound address streams, zeroed counters — without
+    /// releasing any buffer capacity.
+    ///
+    /// A reset driver is behaviorally indistinguishable from a freshly
+    /// constructed one: the same tiles replay to the same cycle count
+    /// and the same statistics. This is the contract the persistent
+    /// driver pool in `capstan_core::perf` relies on to reuse one
+    /// `MemSysSim` across `simulate` calls (construction dominates
+    /// sweep-style experiments otherwise), and it keeps the reuse path
+    /// allocation-free — both proven in
+    /// `crates/arch/tests/alloc_free.rs`.
+    pub fn reset(&mut self) {
+        self.channels.reset();
+        for ag in &mut self.ags {
+            ag.reset();
+        }
+        self.pending_stream = 0;
+        self.pending_random = 0;
+        self.pending_atomic = 0;
+        self.total_stream = 0;
+        self.total_random = 0;
+        self.total_atomic = 0;
+        self.stream_cursor = 0;
+        self.random_stream.reset();
+        self.atomic_stream.reset();
+        self.next_tag = 0;
+        self.inflight = 0;
+        self.cycles = 0;
+        self.flushed = false;
+        self.cycles_recorded = 0;
     }
 }
 
@@ -347,6 +530,12 @@ mod tests {
 
     fn run(model: DramModel, traffic: TileTraffic) -> MemStats {
         let mut sim = MemSysSim::new(model);
+        sim.add_tile(traffic);
+        sim.run()
+    }
+
+    fn run_channels(model: DramModel, channels: usize, traffic: TileTraffic) -> MemStats {
+        let mut sim = MemSysSim::with_config(model, MemSysConfig::with_channels(&model, channels));
         sim.add_tile(traffic);
         sim.run()
     }
@@ -463,5 +652,113 @@ mod tests {
         );
         // Adding traffic can only slow the drain.
         assert!(mixed.cycles > stream_only.cycles);
+    }
+
+    #[test]
+    fn explicit_single_channel_config_matches_the_default() {
+        // `channels: 1` through the explicit-config path must be
+        // bit-identical to the default constructor (the golden pins are
+        // captured under the default).
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let traffic = TileTraffic {
+            stream_bursts: 1500,
+            random_bursts: 700,
+            atomic_words: 900,
+        };
+        assert_eq!(run(model, traffic), run_channels(model, 1, traffic));
+    }
+
+    #[test]
+    fn more_channels_never_slow_the_drain() {
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let traffic = TileTraffic {
+            stream_bursts: 3000,
+            random_bursts: 1500,
+            atomic_words: 2000,
+        };
+        let mut last = u64::MAX;
+        for channels in [1usize, 2, 4, 8] {
+            let stats = run_channels(model, channels, traffic);
+            assert_eq!(stats.channels, channels as u64);
+            assert!(
+                stats.cycles <= last,
+                "{channels} channels drained in {} cycles, slower than {last}",
+                stats.cycles
+            );
+            last = stats.cycles;
+        }
+    }
+
+    #[test]
+    fn atomic_heavy_traffic_scales_with_channels() {
+        // Atomic serialization is a per-region effect: four AG regions
+        // drain an atomic-heavy batch strictly faster than one.
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let traffic = TileTraffic {
+            stream_bursts: 256,
+            atomic_words: 16_384,
+            ..Default::default()
+        };
+        let one = run_channels(model, 1, traffic);
+        let four = run_channels(model, 4, traffic);
+        assert!(
+            four.cycles < one.cycles,
+            "4 channels ({}) must beat 1 ({})",
+            four.cycles,
+            one.cycles
+        );
+        assert_eq!(one.atomic_words, four.atomic_words);
+        assert!(four.ag_bursts_fetched > 0);
+    }
+
+    #[test]
+    fn per_channel_stats_roll_up_to_the_total() {
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let mut sim = MemSysSim::with_config(model, MemSysConfig::with_channels(&model, 4));
+        sim.add_tile(TileTraffic {
+            stream_bursts: 2000,
+            random_bursts: 1000,
+            ..Default::default()
+        });
+        let total = sim.run();
+        let mut served = 0u64;
+        let mut hits = 0u64;
+        let mut conflicts = 0u64;
+        let mut active_channels = 0;
+        for i in 0..4 {
+            let s = sim.channel_stats(i);
+            served += s.served;
+            hits += s.row_hits;
+            conflicts += s.row_conflicts;
+            active_channels += usize::from(s.served > 0);
+        }
+        assert_eq!(served, total.stream_bursts + total.random_bursts);
+        assert_eq!(hits, total.row_hits);
+        assert_eq!(conflicts, total.row_conflicts);
+        assert!(active_channels > 1, "traffic must spread across channels");
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_run() {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let traffic = TileTraffic {
+            stream_bursts: 800,
+            random_bursts: 400,
+            atomic_words: 600,
+        };
+        for channels in [1usize, 4] {
+            let cfg = MemSysConfig::with_channels(&model, channels);
+            let mut sim = MemSysSim::with_config(model, cfg);
+            sim.add_tile(traffic);
+            let first = sim.run();
+            sim.reset();
+            assert!(sim.cycle() == 0 && sim.channels.is_idle());
+            sim.add_tile(traffic);
+            let second = sim.run();
+            assert_eq!(
+                first, second,
+                "{channels}-channel reset run diverged from fresh run"
+            );
+        }
     }
 }

@@ -13,16 +13,23 @@
 //!   their high-water mark, even under eviction/writeback pressure.
 //! * `ButterflyNetwork::route_ref` — repeated routing through one
 //!   `RouteScratch` must reuse its arenas for every merge-shift mode.
-//! * `MemSysSim::tick` — the cycle-level memory mode's driver: the
-//!   banked channel's queues are fixed at construction and the AG's
-//!   slab/arena high-water marks are bounded by the outstanding-atomic
-//!   window, so steady-state ticks must not touch the heap.
+//! * `MemSysSim::tick` — the cycle-level memory mode's driver, in both
+//!   the single-channel and multi-channel topologies: the region
+//!   channels' queues are fixed at construction and each AG's
+//!   slab/arena high-water marks are bounded by the per-AG
+//!   outstanding-atomic window, so steady-state ticks must not touch
+//!   the heap.
+//! * `MemSysSim::reset` + replay — the persistent driver pool's reuse
+//!   path (`capstan_core::perf` checks a pooled driver out and resets
+//!   it instead of constructing one per `simulate` call): a reset must
+//!   release no capacity, so a warmed driver's entire reset → add-tile
+//!   → run round trip stays off the heap.
 //!
 //! The tests live in their own integration-test binary because a
 //! `#[global_allocator]` is process-wide.
 
 use capstan_arch::ag::{AddressGenerator, DramAccess, BURST_WORDS};
-use capstan_arch::memdrv::{MemSysSim, TileTraffic};
+use capstan_arch::memdrv::{MemSysConfig, MemSysSim, TileTraffic};
 use capstan_arch::shuffle::{
     ButterflyNetwork, MergeShift, RouteScratch, ShuffleConfig, ShuffleEntry, ShuffleVector,
 };
@@ -247,8 +254,16 @@ fn route_ref_steady_state_is_allocation_free() {
 
 #[test]
 fn memsys_steady_state_tick_is_allocation_free() {
-    for kind in [MemoryKind::Hbm2e, MemoryKind::Ddr4] {
-        let mut sim = MemSysSim::new(DramModel::new(kind));
+    for (kind, channels) in [
+        (MemoryKind::Hbm2e, 1),
+        (MemoryKind::Ddr4, 1),
+        // The multi-channel topology: four region channels and four
+        // per-region AGs all churning at once.
+        (MemoryKind::Hbm2e, 4),
+        (MemoryKind::Ddr4, 4),
+    ] {
+        let model = DramModel::new(kind);
+        let mut sim = MemSysSim::with_config(model, MemSysConfig::with_channels(&model, channels));
         // All three traffic classes active so streams, scattered reads,
         // the AG slab, waiter lists, evictions, and writebacks all churn
         // during the measured window.
@@ -270,11 +285,54 @@ fn memsys_steady_state_tick_is_allocation_free() {
         let during = allocations() - before;
         assert_eq!(
             during, 0,
-            "{kind:?}: {during} heap allocations in 10k steady-state memory-system cycles"
+            "{kind:?}/{channels}ch: {during} heap allocations in 10k steady-state memory-system cycles"
         );
         let stats = sim.stats();
         assert!(stats.ag_bursts_written > 0, "writeback path not exercised");
         assert!(stats.row_conflicts > 0, "row-conflict path not exercised");
+    }
+}
+
+#[test]
+fn memsys_persistent_reset_and_rerun_is_allocation_free() {
+    // The persistent driver pool in `capstan_core::perf` reuses one
+    // `MemSysSim` per (model, geometry) by resetting it before each
+    // `simulate` call. After a warm-up batch has grown every buffer to
+    // its high-water mark, the entire reuse round trip — reset, re-add
+    // tiles, run to drain including the AG flush — must stay off the
+    // heap. Covers both the default and the multi-channel topology.
+    for channels in [1usize, 4] {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let mut sim = MemSysSim::with_config(model, MemSysConfig::with_channels(&model, channels));
+        let batch = TileTraffic {
+            stream_bursts: 2_000,
+            random_bursts: 2_000,
+            atomic_words: 8_000,
+        };
+        // Warm-up: two full reuse cycles reach the slab and waiter-arena
+        // high-water marks (stochastic, so warm-up exceeds the measured
+        // batch; the deterministic address streams make the final count
+        // exact, not flaky).
+        let mut golden = None;
+        for _ in 0..2 {
+            sim.reset();
+            sim.add_tile(batch);
+            golden = Some(sim.run());
+        }
+        let before = allocations();
+        sim.reset();
+        sim.add_tile(batch);
+        let stats = sim.run();
+        assert_eq!(
+            allocations() - before,
+            0,
+            "{channels}ch: reset + replay allocated after warm-up"
+        );
+        assert_eq!(
+            Some(stats),
+            golden,
+            "{channels}ch: reused driver diverged from its warm-up run"
+        );
     }
 }
 

@@ -3,38 +3,53 @@
 //!
 //! ```text
 //! experiments [NAMES...] [--scale small|medium|large] [--mem analytic|cycle]
-//!             [--bench-out PATH] [--bench-base PATH]
+//!             [--mem-channels N] [--bench-out PATH] [--bench-base PATH]
 //! ```
 //!
-//! `NAMES` are `table4..table13`, `table13-atomics`, `fig4..fig7`,
-//! `ablations`, `extensions`, or `all` (the default). Full-suite (`all`)
-//! runs write `BENCH_core.json` — wall seconds, simulated cycles, and
-//! simulated cycles per wall second for every experiment — so successive
-//! PRs have a comparable perf baseline. Subset runs do NOT write it by
-//! default (a partial file would silently replace the committed
-//! full-suite baseline); pass `--bench-out PATH` to record one anyway,
-//! or `--no-bench-out` to suppress the full-suite write.
+//! `NAMES` are `table4..table13`, `table13-atomics`, `table13-channels`,
+//! `fig4..fig7`, `ablations`, `extensions`, or `all` (the default).
+//! Full-suite (`all`) runs write `BENCH_core.json` — wall seconds,
+//! simulated cycles, and simulated cycles per wall second for every
+//! experiment — so successive PRs have a comparable perf baseline.
+//! Subset runs do NOT write it by default (a partial file would silently
+//! replace the committed full-suite baseline); pass `--bench-out PATH`
+//! to record one anyway, or `--no-bench-out` to suppress the full-suite
+//! write.
 //!
 //! `--mem cycle` switches every constructed configuration to the
 //! cycle-level AG-backed memory mode (`MemTiming::CycleLevel`) and tags
 //! each bench-record row with a `+cycle` suffix: cycle-level simulated
 //! cycles intentionally differ from analytic ones, so the two modes form
 //! separate record groups in the baseline and the gate compares like
-//! with like. `--bench-base PATH` seeds the written record with an
-//! existing baseline's rows (same-name rows replaced), which is how the
-//! committed `BENCH_core.json` carries both the analytic full suite and
-//! the cycle-mode smoke group:
+//! with like. `--mem-channels N` sets the cycle-level mode's
+//! region-channel count (per-AG channels behind a crossbar; default 1)
+//! and, when N > 1, appends a `+chN` suffix for the same reason — a
+//! different topology simulates a different cycle count. The `+chN`
+//! suffix applies regardless of `--mem`, because some experiments
+//! (e.g. `table13-atomics`) exercise the cycle-level driver internally
+//! even under the analytic default and therefore pick up the channel
+//! override too — an unlabeled row would silently diverge from the
+//! committed baseline. (`table13-channels` is the exception: it sets
+//! its channel counts per configuration and ignores both process
+//! defaults.) `--bench-base
+//! PATH` seeds the written record with an existing baseline's rows
+//! (same-name rows replaced), which is how the committed
+//! `BENCH_core.json` carries the analytic full suite plus the
+//! cycle-mode and multi-channel smoke groups (the full recipe is in
+//! `crates/bench/README.md`):
 //!
 //! ```text
 //! experiments all --scale small
-//! experiments table13-atomics fig7 --mem cycle --scale small \
+//! experiments table13-atomics table13-channels fig7 --mem cycle --scale small \
+//!     --bench-base BENCH_core.json --bench-out BENCH_core.json
+//! experiments table13-atomics fig7 --mem cycle --mem-channels 4 --scale small \
 //!     --bench-base BENCH_core.json --bench-out BENCH_core.json
 //! ```
 
 use capstan_bench::experiments as exp;
 use capstan_bench::gate;
 use capstan_bench::Suite;
-use capstan_core::config::{set_default_mem_timing, MemTiming};
+use capstan_core::config::{set_default_mem_channels, set_default_mem_timing, MemTiming};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -102,6 +117,7 @@ fn main() {
     let mut bench_base: Option<String> = None;
     let mut no_bench_out = false;
     let mut mem_suffix = "";
+    let mut chan_suffix = String::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -113,14 +129,34 @@ fn main() {
             }
             "--mem" => {
                 let mode = it.next().expect("--mem needs a value");
+                // Suffixes are assigned unconditionally so repeated
+                // flags keep last-one-wins semantics for the row label
+                // too, matching the process-default setters.
                 match mode.as_str() {
-                    "analytic" => set_default_mem_timing(MemTiming::Analytic),
+                    "analytic" => {
+                        set_default_mem_timing(MemTiming::Analytic);
+                        mem_suffix = "";
+                    }
                     "cycle" => {
                         set_default_mem_timing(MemTiming::CycleLevel);
                         mem_suffix = "+cycle";
                     }
                     other => panic!("unknown memory mode `{other}` (analytic|cycle)"),
                 }
+            }
+            "--mem-channels" => {
+                let n: usize = it
+                    .next()
+                    .expect("--mem-channels needs a value")
+                    .parse()
+                    .expect("--mem-channels needs a positive integer");
+                assert!(n > 0, "--mem-channels needs a positive integer");
+                set_default_mem_channels(n);
+                chan_suffix = if n > 1 {
+                    format!("+ch{n}")
+                } else {
+                    String::new()
+                };
             }
             "--bench-out" => {
                 bench_out = Some(it.next().expect("--bench-out needs a path").to_string());
@@ -135,14 +171,16 @@ fn main() {
     if which.is_empty() {
         which.push("all".to_string());
     }
-    // Only a full-suite *analytic* run defaults to writing the
-    // baseline: a subset record — or a cycle-mode run, whose rows are
-    // all renamed `+cycle` — would silently replace the committed
-    // full-suite file. Cycle-mode records must name their output
-    // explicitly (and merge via --bench-base to keep both groups).
+    // Only a full-suite *analytic, single-channel* run defaults to
+    // writing the baseline: a subset record — or a cycle-mode or
+    // multi-channel run, whose rows are all renamed with a suffix —
+    // would silently replace the committed full-suite file. Suffixed
+    // records must name their output explicitly (and merge via
+    // --bench-base to keep every group).
     if bench_out.is_none()
         && !no_bench_out
         && mem_suffix.is_empty()
+        && chan_suffix.is_empty()
         && which.iter().any(|w| w == "all")
     {
         bench_out = Some("BENCH_core.json".to_string());
@@ -169,7 +207,7 @@ fn main() {
         let start = Instant::now();
         if run_one(name, &suite) {
             records.push(BenchRecord {
-                name: format!("{name}{mem_suffix}"),
+                name: format!("{name}{mem_suffix}{chan_suffix}"),
                 wall_seconds: start.elapsed().as_secs_f64(),
                 simulated_cycles: capstan_sim::stats::simulated_cycles() - cycles_before,
                 cycles_per_second: None,

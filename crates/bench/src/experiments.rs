@@ -655,6 +655,25 @@ pub fn table13(suite: &Suite) -> String {
 
 // --- Table 13 atomics study --------------------------------------------------
 
+/// The synthetic scatter-update kernel shared by the Table 13 memory
+/// studies: fixed streaming and pointer traffic per tile, with the
+/// atomic word count as the swept knob. `unit` is the per-tile element
+/// count (pre-scaled with the suite).
+fn scatter_update_workload(unit: usize, atomic_words: u64) -> Workload {
+    let tiles = 8u64;
+    let mut wl = WorkloadBuilder::new("scatter-update");
+    for i in 0..tiles {
+        let mut t = wl.tile();
+        t.dram_stream_read(unit * 4);
+        t.foreach_vec(unit, |_, _| {});
+        t.dram_random_read(unit as u64 / 16);
+        t.dram_atomic(atomic_words / tiles + u64::from(i < atomic_words % tiles));
+        t.dram_stream_write(unit * 4);
+        wl.commit(t);
+    }
+    wl.finish()
+}
+
 /// Table 13 (atomics study): DRAM atomic-RMW intensity swept under both
 /// memory-timing modes. The analytic model prices an atomic as 128
 /// random bytes; the cycle-level mode replays the same words through a
@@ -673,23 +692,8 @@ pub fn table13_atomics(suite: &Suite) -> String {
     };
     let analytic_cfg = mk(MemTiming::Analytic);
     let cycle_cfg = mk(MemTiming::CycleLevel);
-    // Synthetic scatter-update kernel: fixed streaming and pointer
-    // traffic, sweeping the atomic word count (scaled with the suite).
     let unit = (240_000.0 * suite.la_scale) as usize;
-    let build = |atomic_words: u64| -> Workload {
-        let tiles = 8u64;
-        let mut wl = WorkloadBuilder::new("scatter-update");
-        for i in 0..tiles {
-            let mut t = wl.tile();
-            t.dram_stream_read(unit * 4);
-            t.foreach_vec(unit, |_, _| {});
-            t.dram_random_read(unit as u64 / 16);
-            t.dram_atomic(atomic_words / tiles + u64::from(i < atomic_words % tiles));
-            t.dram_stream_write(unit * 4);
-            wl.commit(t);
-        }
-        wl.finish()
-    };
+    let build = |atomic_words: u64| -> Workload { scatter_update_workload(unit, atomic_words) };
     let _ = writeln!(
         out,
         "{:>12} {:>10} {:>10} {:>6} {:>9} {:>11} {:>10} {:>10}",
@@ -739,6 +743,74 @@ pub fn table13_atomics(suite: &Suite) -> String {
         m.row_conflicts,
         m.ag_bursts_fetched,
         m.ag_bursts_written,
+    );
+    print!("{out}");
+    out
+}
+
+// --- Table 13 channel study --------------------------------------------------
+
+/// Table 13 (channel study): the cycle-level mode's region-channel
+/// count swept on the atomic-heavy scatter-update kernel. Capstan's
+/// grid attaches its 80 AGs to mutually-exclusive memory regions, so
+/// atomic serialization and DRAM bandwidth are per-region effects; the
+/// sweep shows the drain time shrinking as the crossbar spreads traffic
+/// over more `(banked channel, AG region)` pairs — the multi-channel
+/// parallelism a single shared channel hides. A PR-Edge/no-shuffle
+/// anchor (every cross-tile update a DRAM atomic) grounds the sweep in
+/// a real workload. Channel counts are set per configuration here, so
+/// the experiment is independent of the `--mem`/`--mem-channels`
+/// process defaults.
+pub fn table13_channels(suite: &Suite) -> String {
+    let mut out = header("Table 13 channels: region-channel sweep, cycle-level DRAM");
+    let mk = |channels: usize| {
+        let mut cfg = CapstanConfig::new(MemoryKind::Hbm2e);
+        cfg.mem_timing = MemTiming::CycleLevel;
+        cfg.mem_channels = channels;
+        cfg
+    };
+    // Atomic-heavy point of the table13-atomics sweep (the regime the
+    // channel count matters most in).
+    let unit = (240_000.0 * suite.la_scale) as usize;
+    let w = scatter_update_workload(unit, 4 * unit as u64);
+    let sweep = [1usize, 2, 4, 8];
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>8} {:>9} {:>11} {:>8} {:>10}",
+        "channels", "cycle", "speedup", "row-conf", "contention", "peak-q", "ag-fetch"
+    );
+    // The sweep points simulate concurrently; rows format in order, so
+    // the report text stays byte-identical across thread counts.
+    let rows = capstan_par::par_map(&sweep, |&channels| simulate(&w, &mk(channels)));
+    let base = rows[0].cycles;
+    for (channels, r) in sweep.iter().zip(&rows) {
+        let m = r.mem.unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{channels:>8} {:>10} {:>8.2} {:>9} {:>11} {:>8} {:>10}",
+            r.cycles,
+            base as f64 / r.cycles.max(1) as f64,
+            m.row_conflicts,
+            m.contention_cycles,
+            m.peak_bank_queue,
+            m.ag_bursts_fetched,
+        );
+    }
+    // Real-app anchor: shuffle-less PR-Edge routes cross-tile updates
+    // through DRAM atomics — the per-region AG split is the whole story.
+    let app = suite.build(AppId::PrEdge, Dataset::WebStanford);
+    let wl = app.build(&mk(1));
+    let anchors = capstan_par::par_map(&[1usize, 4], |&channels| {
+        let mut cfg = mk(channels);
+        cfg.shuffle = None;
+        simulate(&wl, &cfg)
+    });
+    let _ = writeln!(
+        out,
+        "PR-Edge/no-shuffle: 1ch {} cycles, 4ch {} cycles (x{:.2})",
+        anchors[0].cycles,
+        anchors[1].cycles,
+        anchors[0].cycles as f64 / anchors[1].cycles.max(1) as f64,
     );
     print!("{out}");
     out
@@ -1279,6 +1351,7 @@ pub const ALL_NAMES: &[&str] = &[
     "table12",
     "table13",
     "table13-atomics",
+    "table13-channels",
     "fig5a",
     "fig5b",
     "fig5c",
@@ -1304,6 +1377,7 @@ pub fn run_by_name(name: &str, suite: &Suite) -> Option<String> {
         "table12" => table12(suite),
         "table13" => table13(suite),
         "table13-atomics" => table13_atomics(suite),
+        "table13-channels" => table13_channels(suite),
         "fig5a" => fig5a(suite),
         "fig5b" => fig5b(suite),
         "fig5c" => fig5c(suite),

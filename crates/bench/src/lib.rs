@@ -13,6 +13,12 @@
 //! cargo run --release -p capstan-bench --bin experiments -- table12
 //! cargo run --release -p capstan-bench --bin experiments -- all --scale small
 //! ```
+//!
+//! The full CLI (`--scale`, `--mem`, `--mem-channels`, `--bench-out`,
+//! `--bench-base`), the `BENCH_core.json` record format, and the
+//! baseline-regeneration recipe are documented in this crate's
+//! `README.md`; the [`gate`] module is the CI perf gate that enforces
+//! the committed baseline.
 
 pub mod experiments;
 pub mod gate;

@@ -6,7 +6,7 @@ use capstan_arch::shuffle::ShuffleConfig;
 use capstan_arch::spmu::SpmuConfig;
 pub use capstan_sim::dram::MemoryKind;
 use capstan_sim::network::NetworkConfig;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 /// How the performance engine prices DRAM time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -16,13 +16,16 @@ pub enum MemTiming {
     /// under.
     #[default]
     Analytic,
-    /// Cycle-level: each tile's DRAM traffic is replayed through a
-    /// banked channel and a real `AddressGenerator`
-    /// ([`capstan_arch::memdrv::MemSysSim`]), capturing bank contention,
-    /// row conflicts, and atomics serialization. Simulated cycles stay
+    /// Cycle-level: each tile's DRAM traffic is replayed through
+    /// [`CapstanConfig::mem_channels`] region channels — banked DRAM
+    /// channels behind a deterministic crossbar — and per-region
+    /// `AddressGenerator`s ([`capstan_arch::memdrv::MemSysSim`]),
+    /// capturing bank contention, row conflicts, atomics serialization,
+    /// and multi-channel parallelism. Simulated cycles stay
     /// machine-independent and report text stays byte-identical across
     /// `CAPSTAN_THREADS` settings, but cycle counts differ from the
-    /// analytic mode by design — golden baselines are pinned per mode.
+    /// analytic mode by design — golden baselines are pinned per mode
+    /// (and per channel count).
     CycleLevel,
 }
 
@@ -50,6 +53,24 @@ pub fn default_mem_timing() -> MemTiming {
         0 => MemTiming::Analytic,
         _ => MemTiming::CycleLevel,
     }
+}
+
+/// Process-wide default for [`CapstanConfig::new`]'s `mem_channels`
+/// field.
+static DEFAULT_MEM_CHANNELS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the cycle-level region-channel count newly constructed
+/// configurations default to (the `experiments --mem-channels N` flag).
+/// Like [`set_default_mem_timing`], intended to be called **once, at
+/// process start**; zero is clamped to one channel.
+pub fn set_default_mem_channels(channels: usize) {
+    DEFAULT_MEM_CHANNELS.store(channels.max(1), Ordering::Relaxed);
+}
+
+/// The cycle-level region-channel count newly constructed
+/// configurations default to.
+pub fn default_mem_channels() -> usize {
+    DEFAULT_MEM_CHANNELS.load(Ordering::Relaxed)
 }
 
 /// Full configuration of a simulated Capstan system.
@@ -105,6 +126,14 @@ pub struct CapstanConfig {
     /// How DRAM time is priced: the closed-form analytic model or the
     /// cycle-level AG-backed replay (see [`MemTiming`]).
     pub mem_timing: MemTiming,
+    /// Region channels of the cycle-level memory mode: each pairs one
+    /// banked DRAM channel with one AG region behind a deterministic
+    /// crossbar (`capstan_arch::memdrv`). 1 — the default — reproduces
+    /// the single-channel topology every committed golden value was
+    /// captured under bit-for-bit; the paper's grid has one channel per
+    /// AG (`capstan_arch::memdrv::PAPER_CHANNELS` = 80). Ignored by the
+    /// analytic mode.
+    pub mem_channels: usize,
 }
 
 impl CapstanConfig {
@@ -127,6 +156,7 @@ impl CapstanConfig {
             rmw_bubble_cycles: 0,
             serialized_sram: false,
             mem_timing: default_mem_timing(),
+            mem_channels: default_mem_channels(),
         }
     }
 
@@ -190,6 +220,16 @@ mod tests {
             CapstanConfig::paper_default().mem_timing,
             MemTiming::Analytic
         );
+    }
+
+    #[test]
+    fn mem_channels_defaults_to_the_bit_compatible_single_channel() {
+        // The golden pins were captured under one region channel; the
+        // process-wide default must not drift. (As with the timing mode,
+        // no test may call `set_default_mem_channels` — tests share one
+        // process; explicit per-config overrides are the test-safe way.)
+        assert_eq!(CapstanConfig::paper_default().mem_channels, 1);
+        assert_eq!(default_mem_channels(), 1);
     }
 
     #[test]

@@ -33,27 +33,91 @@
 //!   efficiency. Fast, and the mode every committed golden value was
 //!   captured under.
 //! * [`MemTiming::CycleLevel`]: each tile's traffic is replayed through
-//!   [`MemSysSim`] — a banked DRAM channel for streaming/random bursts
-//!   plus a real [`capstan_arch::ag::AddressGenerator`] for atomic
-//!   read-modify-writes — ticked in lockstep until the traffic drains.
-//!   This captures bank contention, row conflicts, and atomics
-//!   serialization (the Table 13 sensitivity the analytic model cannot
-//!   see) and surfaces the counters in [`PerfReport::mem`]. The replay
-//!   is deterministic and machine-independent, so cycle-level results
-//!   are golden-pinnable and byte-identical across `CAPSTAN_THREADS`
+//!   [`MemSysSim`] — [`CapstanConfig::mem_channels`] region channels
+//!   (banked DRAM channels behind a deterministic crossbar) for
+//!   streaming/random bursts plus per-region
+//!   [`capstan_arch::ag::AddressGenerator`]s for atomic
+//!   read-modify-writes — all ticked in lockstep until the traffic
+//!   drains. This captures bank contention, row conflicts, atomics
+//!   serialization, and multi-channel parallelism (the Table 13
+//!   sensitivities the analytic model cannot see) and surfaces the
+//!   rolled-up counters in [`PerfReport::mem`]. The replay is
+//!   deterministic and machine-independent, so cycle-level results are
+//!   golden-pinnable and byte-identical across `CAPSTAN_THREADS`
 //!   settings — but they intentionally differ from analytic-mode cycle
-//!   counts, so perf baselines are recorded per mode.
+//!   counts, so perf baselines are recorded per mode (and per channel
+//!   count).
+//!
+//! # The persistent memory-driver pool
+//!
+//! Sweep-style experiments call [`simulate`] hundreds of times;
+//! constructing a fresh [`MemSysSim`] each time would re-allocate the
+//! channel queues and AG slabs on every call. Instead, a process-wide
+//! pool keeps constructed drivers keyed by `(DramModel, MemSysConfig)`:
+//! each `simulate` call **checks a matching driver out** (holding the
+//! pool lock only for the take/return, never during simulation — so
+//! worker threads never serialize on each other), **resets** it, runs
+//! the replay, and returns it. The pool is process-wide rather than
+//! `thread_local!` because `capstan_par::par_map` spawns fresh scoped
+//! threads per call — per-thread storage would die between sweep
+//! points. [`MemSysSim::reset`] is contractually indistinguishable from
+//! fresh construction (same tiles replay to the same cycle count), so
+//! the pooling is invisible in results: cycle counts stay bit-identical
+//! to the construct-per-call path regardless of which thread checks out
+//! which driver, preserving the `CAPSTAN_THREADS` byte-diff contract.
+//! The reuse path is allocation-free in steady state — proven in
+//! `crates/arch/tests/alloc_free.rs`.
 
 use crate::config::CapstanConfig;
 use crate::config::MemTiming;
 use crate::program::{TileWork, Workload};
 use crate::report::{Breakdown, PerfReport};
-use capstan_arch::memdrv::{MemStats, MemSysSim, TileTraffic};
+use capstan_arch::memdrv::{MemStats, MemSysConfig, MemSysSim, TileTraffic};
 use capstan_arch::shuffle::{ButterflyNetwork, RouteScratch, ShuffleVector};
 use capstan_arch::spmu::driver::run_vectors;
 use capstan_arch::spmu::{AccessVector, LaneRequest};
 use capstan_sim::dram::{AccessPattern, DramModel, MemoryKind, BURST_BYTES};
 use capstan_sim::network::NetworkModel;
+use std::sync::Mutex;
+
+/// Process-wide pool of persistent cycle-level memory drivers, keyed by
+/// `(DramModel, MemSysConfig)`. See the module docs ("The persistent
+/// memory-driver pool") for the checkout/reset contract.
+static MEMSYS_POOL: Mutex<Vec<(DramModel, MemSysConfig, MemSysSim)>> = Mutex::new(Vec::new());
+
+/// Retained-driver cap: a returning driver is dropped instead of pooled
+/// once this many are already parked. Bounds the cache for long-lived
+/// processes that sweep many geometries (a paper-scale 80-channel driver
+/// holds ~20 MB of AG regions) without affecting results — pooling is
+/// bit-invisible, so dropping is too.
+const MEMSYS_POOL_CAP: usize = 16;
+
+/// Runs `f` on a persistent [`MemSysSim`] for the given model and
+/// geometry, checking one out of the process-wide pool (reset before
+/// reuse — bit-equivalent to fresh construction, so pooling never
+/// changes results) or constructing one when no match is free. The pool
+/// lock is held only for the take/return, never while `f` runs.
+fn with_memsys<R>(model: DramModel, mcfg: MemSysConfig, f: impl FnOnce(&mut MemSysSim) -> R) -> R {
+    let mut sim = {
+        let mut pool = MEMSYS_POOL.lock().expect("memsys pool poisoned");
+        match pool.iter().position(|(m, c, _)| *m == model && *c == mcfg) {
+            Some(i) => {
+                let (_, _, mut sim) = pool.swap_remove(i);
+                sim.reset();
+                sim
+            }
+            None => MemSysSim::with_config(model, mcfg),
+        }
+    };
+    let result = f(&mut sim);
+    // A panic inside `f` simply drops the driver instead of returning
+    // it — the pool never holds a half-simulated entry.
+    let mut pool = MEMSYS_POOL.lock().expect("memsys pool poisoned");
+    if pool.len() < MEMSYS_POOL_CAP {
+        pool.push((model, mcfg, sim));
+    }
+    result
+}
 
 /// Synthetic (ideal-memory) cycle analysis of one tile.
 #[derive(Debug, Clone, Copy, Default)]
@@ -300,28 +364,33 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
     if !cfg.ideal_net_and_mem {
         let dram_cycles = match cfg.mem_timing {
             MemTiming::CycleLevel if !matches!(cfg.memory, MemoryKind::Ideal) => {
-                // Replay each tile's traffic through the banked channel
-                // and a real AG, ticked in lockstep; the drain time
-                // replaces the closed-form estimate.
-                let mut msim = MemSysSim::new(dram_model);
-                for tile in &workload.tiles {
-                    msim.add_tile(TileTraffic {
-                        stream_bursts: effective_stream_bytes(tile).div_ceil(BURST_BYTES),
-                        random_bursts: tile.dram_random_words,
-                        atomic_words: tile.dram_atomic_words,
-                    });
-                }
-                if fallback_atomic_entries > 0 {
-                    // Shuffle-less fallback traffic (Table 11's "None"
-                    // column): cross-tile updates as DRAM atomics. The
-                    // raw entry count goes in — the AG's open-burst
-                    // tracking coalesces, not a pre-applied constant.
-                    msim.add_tile(TileTraffic {
-                        atomic_words: fallback_atomic_entries,
-                        ..Default::default()
-                    });
-                }
-                let stats = msim.run();
+                // Replay each tile's traffic through the region channels
+                // and the per-region AGs, ticked in lockstep; the drain
+                // time replaces the closed-form estimate. The driver is
+                // persistent per worker thread (see the module docs), so
+                // sweep-style experiments pay construction once.
+                let mcfg = MemSysConfig::with_channels(&dram_model, cfg.mem_channels);
+                let stats = with_memsys(dram_model, mcfg, |msim| {
+                    for tile in &workload.tiles {
+                        msim.add_tile(TileTraffic {
+                            stream_bursts: effective_stream_bytes(tile).div_ceil(BURST_BYTES),
+                            random_bursts: tile.dram_random_words,
+                            atomic_words: tile.dram_atomic_words,
+                        });
+                    }
+                    if fallback_atomic_entries > 0 {
+                        // Shuffle-less fallback traffic (Table 11's
+                        // "None" column): cross-tile updates as DRAM
+                        // atomics. The raw entry count goes in — the
+                        // AG's open-burst tracking coalesces, not a
+                        // pre-applied constant.
+                        msim.add_tile(TileTraffic {
+                            atomic_words: fallback_atomic_entries,
+                            ..Default::default()
+                        });
+                    }
+                    msim.run()
+                });
                 mem_stats = Some(stats);
                 stats.cycles
             }
@@ -617,6 +686,58 @@ mod tests {
         assert!(stats.ag_bursts_fetched > 0);
         assert!(stats.ag_bursts_written > 0);
         assert!(report.breakdown.dram > 0);
+    }
+
+    #[test]
+    fn persistent_driver_reuse_is_invisible_in_results() {
+        // The second call on this thread takes the pooled-reset path;
+        // the first constructed the driver. Reset is contractually
+        // bit-equivalent to fresh construction, so the two reports must
+        // be identical — including the rolled-up memory counters.
+        let mut wl = WorkloadBuilder::new("pooled");
+        {
+            let mut t = wl.tile();
+            t.foreach_vec(500, |_, _| {});
+            t.dram_stream_read(1 << 16);
+            t.dram_random_read(2048);
+            t.dram_atomic(2048);
+            wl.commit(t);
+        }
+        let w = wl.finish();
+        let mut cfg = CapstanConfig::new(MemoryKind::Hbm2e);
+        cfg.mem_timing = MemTiming::CycleLevel;
+        let a = simulate(&w, &cfg);
+        let b = simulate(&w, &cfg);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mem, b.mem);
+        assert!(a.mem.is_some());
+    }
+
+    #[test]
+    fn mem_channels_shrink_atomic_heavy_drains() {
+        let mut wl = WorkloadBuilder::new("channels");
+        {
+            let mut t = wl.tile();
+            t.foreach_vec(500, |_, _| {});
+            t.dram_atomic(16_384);
+            wl.commit(t);
+        }
+        let w = wl.finish();
+        let mut one = CapstanConfig::new(MemoryKind::Hbm2e);
+        one.mem_timing = MemTiming::CycleLevel;
+        one.mem_channels = 1;
+        let mut four = one;
+        four.mem_channels = 4;
+        let r1 = simulate(&w, &one);
+        let r4 = simulate(&w, &four);
+        assert_eq!(r1.mem.unwrap().channels, 1);
+        assert_eq!(r4.mem.unwrap().channels, 4);
+        assert!(
+            r4.cycles < r1.cycles,
+            "4 channels ({}) must beat 1 ({}) on atomic-heavy traffic",
+            r4.cycles,
+            r1.cycles
+        );
     }
 
     #[test]

@@ -86,9 +86,10 @@ pub struct PerfReport {
     /// Fraction of lane slots doing useful work.
     pub lane_efficiency: f64,
     /// Cycle-level memory statistics (row conflicts, bank contention,
-    /// AG burst counts). `Some` only under `MemTiming::CycleLevel` with
-    /// a non-ideal memory system; the analytic mode has no cycle-level
-    /// observables.
+    /// AG burst counts), rolled up across every region channel and AG
+    /// of the multi-channel topology. `Some` only under
+    /// `MemTiming::CycleLevel` with a non-ideal memory system; the
+    /// analytic mode has no cycle-level observables.
     pub mem: Option<MemStats>,
 }
 

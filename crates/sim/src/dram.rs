@@ -250,6 +250,17 @@ impl DramChannel {
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Returns the channel to its as-constructed state without releasing
+    /// any buffer capacity (the persistent-driver reset path: a reset
+    /// channel must be behaviorally indistinguishable from a fresh one).
+    pub fn reset(&mut self) {
+        self.cycle = 0;
+        self.credit = 0.0;
+        self.queue.reset();
+        self.completed.clear();
+        self.served = 0;
+    }
 }
 
 /// Sentinel for "no row open" in a bank's row register.
@@ -510,6 +521,174 @@ impl BankedDramChannel {
     /// Whether any requests are pending in any bank.
     pub fn is_idle(&self) -> bool {
         self.banks.iter().all(|b| b.queue.is_empty())
+    }
+
+    /// Returns the channel to its as-constructed state without releasing
+    /// any buffer capacity. A reset channel must be behaviorally
+    /// indistinguishable from a fresh one — this is what lets the
+    /// persistent per-thread memory driver reuse channels across
+    /// `simulate` calls while keeping cycle counts bit-identical to the
+    /// construct-per-call path.
+    pub fn reset(&mut self) {
+        self.cycle = 0;
+        self.credit = 0.0;
+        self.rr = 0;
+        self.completed.clear();
+        self.stats = BankedStats::default();
+        self.pushed = 0;
+        for bank in &mut self.banks {
+            bank.queue.reset();
+            bank.open_row = NO_ROW;
+            bank.busy_until = 0;
+        }
+    }
+}
+
+/// N independent [`BankedDramChannel`]s behind a deterministic crossbar
+/// — the multi-channel memory topology of the cycle-level mode.
+///
+/// Capstan attaches address generators to 80 independent AG regions
+/// (paper Table 7), so DRAM bandwidth and atomic serialization are
+/// *per-region* effects: traffic to different regions proceeds in
+/// parallel, and only same-region traffic contends. The crossbar maps a
+/// burst address to its owning channel by the address's **region bits**
+/// — the bits above the DRAM row index — so every row lives entirely in
+/// one channel (row locality is preserved) and consecutive rows rotate
+/// across channels (streaming sweeps spread evenly):
+///
+/// ```text
+/// channel(addr) = (addr / BURST_BYTES / row_bursts) % channels
+/// ```
+///
+/// With `channels == 1` the array degenerates to exactly one
+/// [`BankedDramChannel`] receiving every request — bit-identical to the
+/// single-channel topology, which is what keeps the committed golden
+/// pins valid under the default configuration.
+///
+/// # Determinism
+///
+/// Routing is a pure function of the address; service is round-robin
+/// over channels from a cursor that advances one channel per tick
+/// (completions merge in that rotating order); no randomness or
+/// wall-clock time is consulted. Completion streams are therefore
+/// machine-independent, like the underlying channels'.
+///
+/// # Allocation
+///
+/// The per-channel queues are fixed at construction and the merged
+/// completion buffer is pre-sized to the theoretical per-tick maximum
+/// (one burst per bank per channel), so `tick` performs no steady-state
+/// heap allocation.
+#[derive(Debug, Clone)]
+pub struct ChannelArray {
+    channels: Vec<BankedDramChannel>,
+    row_bursts: u64,
+    /// Rotating service cursor (the round-robin arbitration order in
+    /// which channels drain into the shared completion buffer).
+    rr: usize,
+    completed: Vec<BurstCompletion>,
+}
+
+impl ChannelArray {
+    /// Creates `channels` identical banked channels over `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero (via the same guard as
+    /// [`BankedDramChannel::new`] for the timing fields).
+    pub fn new(model: DramModel, timing: BankTiming, channels: usize) -> Self {
+        assert!(channels > 0, "channel array needs at least one channel");
+        ChannelArray {
+            channels: vec![BankedDramChannel::new(model, timing); channels],
+            row_bursts: timing.row_bursts,
+            rr: 0,
+            // At most one burst per bank per channel completes per tick.
+            completed: Vec::with_capacity(channels * timing.banks),
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The crossbar route for an address: the channel owning its region
+    /// (row-granular interleaving — see the type-level docs).
+    pub fn channel_of(&self, addr: u64) -> usize {
+        ((addr / BURST_BYTES / self.row_bursts) % self.channels.len() as u64) as usize
+    }
+
+    /// Attempts to enqueue a burst on its crossbar-routed channel; fails
+    /// when that channel's target bank queue is full.
+    pub fn push(&mut self, req: BurstRequest) -> Result<(), BurstRequest> {
+        let ch = self.channel_of(req.addr);
+        self.channels[ch].push(req)
+    }
+
+    /// Advances every channel one cycle, returning all bursts completed
+    /// this cycle (merged in the rotating round-robin service order).
+    ///
+    /// The slice borrows an internal buffer reused on the next call.
+    pub fn tick(&mut self) -> &[BurstCompletion] {
+        self.completed.clear();
+        let n = self.channels.len();
+        for i in 0..n {
+            let done = self.channels[(self.rr + i) % n].tick();
+            self.completed.extend_from_slice(done);
+        }
+        self.rr = (self.rr + 1) % n;
+        &self.completed
+    }
+
+    /// Whether every channel has drained.
+    pub fn is_idle(&self) -> bool {
+        self.channels.iter().all(BankedDramChannel::is_idle)
+    }
+
+    /// Total bursts accepted across all channels.
+    pub fn pushed(&self) -> u64 {
+        self.channels.iter().map(BankedDramChannel::pushed).sum()
+    }
+
+    /// Total bursts served across all channels.
+    pub fn served(&self) -> u64 {
+        self.channels.iter().map(|c| c.stats().served).sum()
+    }
+
+    /// Statistics of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel >= self.channels()`.
+    pub fn channel_stats(&self, channel: usize) -> BankedStats {
+        self.channels[channel].stats()
+    }
+
+    /// Statistics rolled up across channels: counters sum;
+    /// `peak_bank_queue` is the maximum over channels.
+    pub fn stats(&self) -> BankedStats {
+        let mut total = BankedStats::default();
+        for ch in &self.channels {
+            let s = ch.stats();
+            total.served += s.served;
+            total.row_hits += s.row_hits;
+            total.row_conflicts += s.row_conflicts;
+            total.row_opens += s.row_opens;
+            total.contention_cycles += s.contention_cycles;
+            total.bank_busy_cycles += s.bank_busy_cycles;
+            total.peak_bank_queue = total.peak_bank_queue.max(s.peak_bank_queue);
+        }
+        total
+    }
+
+    /// Resets every channel to its as-constructed state (see
+    /// [`BankedDramChannel::reset`]).
+    pub fn reset(&mut self) {
+        for ch in &mut self.channels {
+            ch.reset();
+        }
+        self.rr = 0;
+        self.completed.clear();
     }
 }
 
@@ -783,6 +962,151 @@ mod tests {
         // 16 banks, one burst per bank per tick, no CAS latency: 64
         // bursts drain within a handful of cycles.
         assert!(done.last().unwrap().cycle <= 8);
+    }
+
+    /// Pushes `total` bursts (addresses from `addr_of`) into `arr` and
+    /// drains it, returning (completions, final cycle).
+    fn drain_array(arr: &mut ChannelArray, total: u64, addr_of: impl Fn(u64) -> u64) -> (u64, u64) {
+        let mut pushed = 0u64;
+        let mut done = 0u64;
+        let mut cycle = 0u64;
+        for _ in 0..2_000_000u64 {
+            while pushed < total {
+                let req = BurstRequest {
+                    addr: addr_of(pushed),
+                    is_write: false,
+                    tag: pushed,
+                };
+                if arr.push(req).is_err() {
+                    break;
+                }
+                pushed += 1;
+            }
+            let completions = arr.tick();
+            done += completions.len() as u64;
+            cycle += 1;
+            if pushed == total && arr.is_idle() {
+                break;
+            }
+        }
+        (done, cycle)
+    }
+
+    #[test]
+    fn one_channel_array_matches_the_bare_channel_exactly() {
+        // channels=1 must be bit-identical to a lone BankedDramChannel:
+        // same completion stream, same stats. The default cycle-level
+        // memory mode relies on this for golden-pin compatibility.
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let timing = BankTiming::for_model(&model);
+        let mut single = BankedDramChannel::new(model, timing);
+        let mut array = ChannelArray::new(model, timing, 1);
+        let addr_of = |i: u64| ((i * 977) % 4096) * BURST_BYTES;
+        let mut pushed = 0u64;
+        let total = 500u64;
+        for _ in 0..1_000_000u64 {
+            while pushed < total {
+                let req = BurstRequest {
+                    addr: addr_of(pushed),
+                    is_write: false,
+                    tag: pushed,
+                };
+                let a = single.push(req);
+                let b = array.push(req);
+                assert_eq!(a.is_ok(), b.is_ok());
+                if a.is_err() {
+                    break;
+                }
+                pushed += 1;
+            }
+            assert_eq!(single.tick(), array.tick());
+            if pushed == total && single.is_idle() {
+                break;
+            }
+        }
+        assert!(array.is_idle());
+        assert_eq!(single.stats(), array.stats());
+        assert_eq!(single.stats(), array.channel_stats(0));
+        assert_eq!(array.served(), total);
+    }
+
+    #[test]
+    fn crossbar_keeps_rows_whole_and_rotates_them() {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let timing = BankTiming::for_model(&model);
+        let arr = ChannelArray::new(model, timing, 4);
+        let row_bytes = timing.row_bursts * BURST_BYTES;
+        for row in 0..16u64 {
+            let ch = arr.channel_of(row * row_bytes);
+            // Every burst of the row lands on the same channel...
+            for burst in 0..timing.row_bursts {
+                assert_eq!(arr.channel_of(row * row_bytes + burst * BURST_BYTES), ch);
+            }
+            // ...and consecutive rows rotate round-robin.
+            assert_eq!(ch, (row % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn more_channels_never_slow_bank_parallel_traffic() {
+        // Row-scattered traffic spread across regions: adding channels
+        // adds service bandwidth, so the drain can only get faster (or
+        // stay equal when something else is the bottleneck).
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let timing = BankTiming::for_model(&model);
+        let total = 2000u64;
+        let addr_of = |i: u64| (i * 977 % 65_536) * BURST_BYTES;
+        let mut last = u64::MAX;
+        for channels in [1usize, 2, 4, 8] {
+            let mut arr = ChannelArray::new(model, timing, channels);
+            let (done, cycle) = drain_array(&mut arr, total, addr_of);
+            assert_eq!(done, total, "{channels} channels lost completions");
+            assert!(
+                cycle <= last,
+                "{channels} channels drained in {cycle} cycles, slower than {last}"
+            );
+            last = cycle;
+        }
+    }
+
+    #[test]
+    fn channel_array_reset_reproduces_a_fresh_run() {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let timing = BankTiming::for_model(&model);
+        let addr_of = |i: u64| (i * 977 % 4096) * BURST_BYTES;
+        let mut arr = ChannelArray::new(model, timing, 4);
+        let first = drain_array(&mut arr, 800, addr_of);
+        let stats_first = arr.stats();
+        arr.reset();
+        assert!(arr.is_idle());
+        assert_eq!(arr.served(), 0);
+        let second = drain_array(&mut arr, 800, addr_of);
+        assert_eq!(first, second, "reset run diverged from fresh run");
+        assert_eq!(stats_first, arr.stats());
+    }
+
+    #[test]
+    fn banked_reset_reproduces_a_fresh_run() {
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let mut ch = BankedDramChannel::new(model, BankTiming::for_model(&model));
+        let run = |ch: &mut BankedDramChannel| {
+            for i in 0..64u64 {
+                ch.push(BurstRequest {
+                    addr: (i * 977 % 4096) * BURST_BYTES,
+                    is_write: false,
+                    tag: i,
+                })
+                .unwrap();
+            }
+            let done = drain_banked(ch, 100_000);
+            (done, ch.stats(), ch.cycle())
+        };
+        let first = run(&mut ch);
+        ch.reset();
+        assert_eq!(ch.pushed(), 0);
+        assert_eq!(ch.stats(), BankedStats::default());
+        let second = run(&mut ch);
+        assert_eq!(first, second, "reset run diverged from fresh run");
     }
 
     #[test]

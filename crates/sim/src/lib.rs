@@ -12,8 +12,11 @@
 //!   global synchronicity", paper §4.1).
 //! * [`dram`] — the DRAM model standing in for Ramulator: burst-level
 //!   (64 B) transfers, DDR4-2133 / HBM2 / HBM2E presets (Table 7), random
-//!   versus streaming efficiency, and a cycle-level channel for the
-//!   address-generator simulator.
+//!   versus streaming efficiency, cycle-level channels (the plain
+//!   [`dram::DramChannel`], the banked open-row
+//!   [`dram::BankedDramChannel`]), and the multi-channel
+//!   [`dram::ChannelArray`] — N banked channels behind a deterministic
+//!   region-bit crossbar, the topology of the cycle-level memory mode.
 //! * [`network`] — the hybrid static/dynamic on-chip network model
 //!   (512-bit vector links, per-hop latency, §4.1).
 //!

@@ -110,6 +110,16 @@ impl<T> BoundedQueue<T> {
         self.items.remove(i)
     }
 
+    /// Empties the queue and zeroes its statistics, returning it to the
+    /// as-constructed state without releasing capacity. Used by the
+    /// persistent cycle-level memory driver, whose reset must be both
+    /// allocation-free and behaviorally identical to fresh construction.
+    pub fn reset(&mut self) {
+        self.items.clear();
+        self.high_water = 0;
+        self.total_pushed = 0;
+    }
+
     /// Highest occupancy ever observed.
     pub fn high_water(&self) -> usize {
         self.high_water
@@ -175,5 +185,20 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _: BoundedQueue<u8> = BoundedQueue::new(0);
+    }
+
+    #[test]
+    fn reset_restores_the_as_constructed_state() {
+        let mut q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.high_water(), 0);
+        assert_eq!(q.total_pushed(), 0);
+        assert_eq!(q.capacity(), 2);
+        q.push(3).unwrap();
+        assert_eq!(q.pop(), Some(3));
     }
 }

@@ -9,6 +9,13 @@
 //! prices tightly, and on contention-free streaming the two must agree
 //! within a bounded ratio. Atomic traffic additionally must be strictly
 //! monotone: more RMW words can never make the cycle-level drain faster.
+//!
+//! The multi-channel topology (`CapstanConfig::mem_channels`) adds a
+//! third axis: one region channel must reproduce the single-channel
+//! driver bit-for-bit (the golden pins depend on it), growing the
+//! channel count can only shrink the drain on bank-parallel traffic,
+//! and the atomic-monotonicity contract must hold at *every* channel
+//! count.
 
 use capstan::core::config::{CapstanConfig, MemTiming, MemoryKind};
 use capstan::core::perf::simulate;
@@ -174,6 +181,102 @@ fn modes_agree_exactly_when_memory_is_ideal() {
         "ideal memory must cost zero in both modes"
     );
     assert!(c.mem.is_none());
+}
+
+#[test]
+fn one_channel_config_matches_the_single_channel_driver_exactly() {
+    // `mem_channels = 1` must be bit-identical to the default
+    // (pre-multi-channel) configuration, end to end through `simulate`:
+    // same cycles, same breakdown, same rolled-up memory counters. The
+    // committed golden pins in `tests/determinism_golden.rs` pin the
+    // absolute values; this differential pins the config plumbing.
+    let w = dram_workload(8, 1 << 18, 2048, 4096);
+    for memory in [MemoryKind::Ddr4, MemoryKind::Hbm2e] {
+        let mut default_cfg = CapstanConfig::new(memory);
+        default_cfg.mem_timing = MemTiming::CycleLevel;
+        let mut explicit = default_cfg;
+        explicit.mem_channels = 1;
+        assert_eq!(default_cfg.mem_channels, 1, "default must stay 1");
+        let a = simulate(&w, &default_cfg);
+        let b = simulate(&w, &explicit);
+        assert_eq!(a, b, "{memory:?}: explicit channels=1 diverged");
+        assert_eq!(a.mem.expect("stats").channels, 1);
+    }
+}
+
+#[test]
+fn cycles_never_increase_as_channels_grow_on_bank_parallel_traffic() {
+    // Bank-parallel traffic (streaming rows plus region-scattered
+    // random bursts plus atomics) gains service bandwidth with every
+    // added region channel; the cycle-level drain must be monotonically
+    // non-increasing across the sweep.
+    let w = dram_workload(8, 1 << 18, 2048, 4096);
+    for memory in [MemoryKind::Ddr4, MemoryKind::Hbm2e] {
+        let mut last = u64::MAX;
+        for channels in [1usize, 2, 4, 8] {
+            let mut cfg = CapstanConfig::new(memory);
+            cfg.mem_timing = MemTiming::CycleLevel;
+            cfg.mem_channels = channels;
+            let r = simulate(&w, &cfg);
+            assert!(
+                r.cycles <= last,
+                "{memory:?}: {channels} channels took {} cycles, more than {last}",
+                r.cycles
+            );
+            assert_eq!(r.mem.expect("stats").channels, channels as u64);
+            last = r.cycles;
+        }
+    }
+}
+
+#[test]
+fn four_channels_strictly_beat_one_on_atomic_heavy_traffic() {
+    // The acceptance shape of the `table13-channels` experiment:
+    // atomic serialization is a per-region effect, so four AG regions
+    // must drain an atomic-heavy batch strictly faster than one.
+    for memory in [MemoryKind::Ddr4, MemoryKind::Hbm2e] {
+        let w = dram_workload(8, 1 << 16, 512, 16_384);
+        let mut one = CapstanConfig::new(memory);
+        one.mem_timing = MemTiming::CycleLevel;
+        one.mem_channels = 1;
+        let mut four = one;
+        four.mem_channels = 4;
+        let r1 = simulate(&w, &one);
+        let r4 = simulate(&w, &four);
+        assert!(
+            r4.cycles < r1.cycles,
+            "{memory:?}: 4 channels ({}) must strictly beat 1 ({})",
+            r4.cycles,
+            r1.cycles
+        );
+    }
+}
+
+#[test]
+fn atomic_monotonicity_holds_at_every_channel_count() {
+    // The strict atomic-intensity monotonicity contract (the banked
+    // traffic is byte-identical across the sweep; only the atomic
+    // stream grows) must survive the multi-channel generalization: the
+    // atomic address stream spans all regions, so a longer sweep is a
+    // superset prefix regardless of how many AGs it steers to.
+    for channels in [1usize, 2, 4] {
+        let mut last = None;
+        for atomic_words in [512u64, 2048, 8192, 32_768] {
+            let w = dram_workload(4, 1 << 16, 512, atomic_words);
+            let mut cfg = CapstanConfig::new(MemoryKind::Hbm2e);
+            cfg.mem_timing = MemTiming::CycleLevel;
+            cfg.mem_channels = channels;
+            let r = simulate(&w, &cfg);
+            if let Some(prev) = last {
+                assert!(
+                    r.cycles > prev,
+                    "{channels} channels: {atomic_words} atomic words gave {} cycles, not above {prev}",
+                    r.cycles
+                );
+            }
+            last = Some(r.cycles);
+        }
+    }
 }
 
 #[test]
