@@ -166,7 +166,7 @@ impl Bfs {
                         let d = dsts[k];
                         let owner = part.part_of(d as usize);
                         if owner != tile {
-                            t.remote_update(owner);
+                            t.remote_update_at(owner, d as u64);
                         }
                         t.sram_rmw(d, RmwOp::TestAndSet); // Rch[d]
                         if self.write_backpointers {

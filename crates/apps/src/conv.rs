@@ -135,9 +135,14 @@ impl SparseConv {
                             let dest = owner(ro);
                             if dest != tile {
                                 if self.halo_via_memory {
-                                    t.dram_atomic(1); // halo-exchange pass
+                                    // Halo-exchange pass: record the real
+                                    // output cell so halo rows coalesce
+                                    // under recorded addressing.
+                                    t.dram_atomic_at(addr as u64);
                                 } else {
-                                    t.remote_update(dest); // shuffle network
+                                    // Shuffle network (the output word
+                                    // doubles as the fallback address).
+                                    t.remote_update_at(dest, addr as u64);
                                 }
                             }
                             t.sram_rmw(addr, RmwOp::AddF);

@@ -151,8 +151,12 @@ fn record_spmm_tile(
                 });
             } else {
                 // B spills to DRAM: one burst-granular row fetch per
-                // neighbor, compute on the streamed row.
-                t.dram_random_read(((f_out * 4) as u64).div_ceil(64));
+                // neighbor at its real row-major offset, compute on the
+                // streamed row.
+                let row_word = j as u64 * f_out as u64;
+                for b in 0..((f_out * 4) as u64).div_ceil(64) {
+                    t.dram_random_read_at(row_word + b * 16);
+                }
                 t.foreach_vec(f_out, |_, k| {
                     out.row_mut(r)[k] += aij * b.row(j as usize)[k];
                 });

@@ -97,7 +97,10 @@ impl PrPull {
                     let s = srcs[k] as usize;
                     t.sram_read(srcs[k]); // rank[s] (local copy)
                     if part.part_of(s) != tile {
-                        t.remote_update(part.part_of(s));
+                        // Record the remote word (the source vertex) so
+                        // the shuffle-less DRAM-atomic fallback can
+                        // replay the real hub-skewed destinations.
+                        t.remote_update_at(part.part_of(s), s as u64);
                     }
                     pulled += rank[s] * self.inv_deg[s];
                 });
@@ -193,7 +196,10 @@ impl PrEdge {
                 let (s, d, _) = edges[k];
                 t.sram_read(s); // rank[src]
                 if part.part_of(s as usize) != tile {
-                    t.remote_update(part.part_of(s as usize));
+                    // Power-law hubs repeat here; recording the real
+                    // source vertex lets the cycle-level memory mode's
+                    // recorded-address replay coalesce them in the AGs.
+                    t.remote_update_at(part.part_of(s as usize), s as u64);
                 }
                 t.sram_rmw(d, RmwOp::AddF); // acc[dst] +=
                 acc[d as usize] += rank[s as usize] * self.inv_deg[s as usize];

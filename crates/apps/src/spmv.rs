@@ -90,7 +90,7 @@ impl CsrSpmv {
                     if !v_fits {
                         let owner = (c as usize) / range;
                         if owner != tile {
-                            t.remote_update(owner);
+                            t.remote_update_at(owner, c as u64);
                         }
                     }
                     acc += vals[k] * self.x[c as usize];
@@ -247,14 +247,21 @@ impl CscSpmv {
             t.dram_stream_read(x_dense.len() * 4 / tiles);
             // Touched matrix columns are scattered in DRAM: burst-granular
             // random fetches ("significant on-chip processing interspersed
-            // with DRAM loads of matrix data", paper §4.4).
-            let mut col_bursts = 0u64;
+            // with DRAM loads of matrix data", paper §4.4). Each burst is
+            // recorded at its real word offset in the column-major matrix
+            // layout (8 bytes per stored entry), so the cycle-level
+            // memory mode's recorded-address replay sees the true
+            // scatter pattern.
+            let col_ptr = self.matrix.col_ptr();
             for &c in &tile_cols {
                 if x_dense[c] != 0.0 {
-                    col_bursts += (self.matrix.col_len(c) as u64 * 8).div_ceil(64);
+                    let start_word = col_ptr[c] as u64 * 2;
+                    let bursts = (self.matrix.col_len(c) as u64 * 8).div_ceil(64);
+                    for b in 0..bursts {
+                        t.dram_random_read_at(start_word + b * 16);
+                    }
                 }
             }
-            t.dram_random_read(col_bursts);
             t.scan_data_outer(&tile_vals, |t, k, xc| {
                 let c = tile_cols[k as usize];
                 let rows = self.matrix.col_rows(c);

@@ -161,7 +161,7 @@ impl Sssp {
                         let d = dsts[k];
                         let owner = part.part_of(d as usize);
                         if owner != tile {
-                            t.remote_update(owner);
+                            t.remote_update_at(owner, d as u64);
                         }
                         t.sram_rmw(d, RmwOp::MinReportChanged); // Dist[d]
                         if self.write_backpointers {

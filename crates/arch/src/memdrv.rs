@@ -36,14 +36,31 @@
 //! `tests/determinism_golden.rs` valid under the default configuration.
 //! Paper scale is [`PAPER_CHANNELS`] (one channel per AG).
 //!
+//! # Scattered addresses: synthetic streams or recorded vectors
+//!
+//! Scattered traffic (random reads and atomics) needs concrete
+//! addresses. By default each class draws from a synthetic uniform
+//! `AddressStream`; alternatively, a tile can be queued with its
+//! *recorded* address sample ([`MemSysSim::add_tile_recorded`] — the
+//! bounded deterministic samples `capstan_core::program`'s recorder
+//! captures). Recorded replay cycles through the sample to cover the
+//! class's full word count, so a power-law destination distribution
+//! reaches the AGs with its real skew and coalesces in their
+//! open-burst caches — the effect the paper's Table 13 workloads
+//! depend on and a uniform stream cannot show. A class with **no**
+//! recorded addresses falls back to its synthetic stream bit-for-bit,
+//! which is what keeps every committed golden pin valid under the
+//! default configuration.
+//!
 //! # Determinism contract
 //!
 //! The driver consults no randomness and no wall-clock time: streaming
-//! addresses are sequential, scattered addresses come from fixed
+//! addresses are sequential, scattered addresses come either from fixed
 //! SplitMix-style counter generators (one `AddressStream` per traffic
 //! class, constructed by the same parameterized constructor so the
-//! classes cannot drift), the crossbar route is a pure function of the
-//! address, and every simulated unit is deterministic — so the
+//! classes cannot drift) or from the recorded samples replayed
+//! cyclically in queue order, the crossbar route is a pure function of
+//! the address, and every simulated unit is deterministic — so the
 //! resulting cycle count, and the completion stream pinned by
 //! `tests/determinism_golden.rs`, is machine-independent and identical
 //! across `CAPSTAN_THREADS` settings.
@@ -59,7 +76,7 @@
 //! replay) — both proven by the counting-allocator tests in
 //! `crates/arch/tests/alloc_free.rs`.
 
-use crate::ag::{AddressGenerator, DramAccess};
+use crate::ag::{AddressGenerator, DramAccess, BURST_WORDS};
 use crate::spmu::RmwOp;
 use capstan_sim::dram::{
     BankTiming, BankedStats, BurstRequest, ChannelArray, DramModel, BURST_BYTES,
@@ -252,6 +269,20 @@ pub struct MemSysSim {
     /// Atomic address stream over the combined
     /// `channels x ag_region_words` region space.
     atomic_stream: AddressStream,
+    /// Recorded random-read word addresses (from
+    /// [`MemSysSim::add_tile_recorded`]); when non-empty they replace
+    /// the synthetic `random_stream`, cycled to cover the full pending
+    /// count. Capacity is retained across [`MemSysSim::reset`].
+    rec_random: Vec<u64>,
+    /// Replay cursor into `rec_random` (advances only on acceptance, so
+    /// a backpressured request retries the same address — the same
+    /// semantics as the synthetic stream's peek/advance split).
+    rec_random_pos: usize,
+    /// Recorded atomic word addresses; when non-empty they replace the
+    /// synthetic `atomic_stream`.
+    rec_atomic: Vec<u64>,
+    /// Replay cursor into `rec_atomic`.
+    rec_atomic_pos: usize,
     next_tag: u64,
     /// Channel requests in flight (pushed minus completed).
     inflight: u64,
@@ -291,6 +322,10 @@ impl MemSysSim {
                 ATOMIC_SEED,
                 cfg.ag_region_words as u64 * cfg.channels as u64,
             ),
+            rec_random: Vec::new(),
+            rec_random_pos: 0,
+            rec_atomic: Vec::new(),
+            rec_atomic_pos: 0,
             next_tag: 0,
             inflight: 0,
             cycles: 0,
@@ -304,7 +339,10 @@ impl MemSysSim {
         &self.cfg
     }
 
-    /// Queues one tile's traffic for replay.
+    /// Queues one tile's traffic for replay with synthetic scattered
+    /// addresses (unless an earlier tile already queued recorded ones —
+    /// the per-class address source is driver-wide, see
+    /// [`MemSysSim::add_tile_recorded`]).
     pub fn add_tile(&mut self, traffic: TileTraffic) {
         self.pending_stream += traffic.stream_bursts;
         self.pending_random += traffic.random_bursts;
@@ -313,6 +351,39 @@ impl MemSysSim {
         self.total_random += traffic.random_bursts;
         self.total_atomic += traffic.atomic_words;
         self.flushed = false;
+    }
+
+    /// Queues one tile's traffic for replay together with its recorded
+    /// scattered-address samples: `random_addrs` are word addresses of
+    /// the tile's random reads, `atomic_addrs` word addresses of its
+    /// atomic read-modify-writes (both as sampled by
+    /// `capstan_core::program`'s recorder; either may be empty).
+    ///
+    /// The samples of every queued tile concatenate into one per-class
+    /// replay buffer, cycled in order to cover the class's full pending
+    /// count — so the bounded sample reproduces the recorded address
+    /// *distribution* at the recorded traffic *volume*. Two modeling
+    /// caveats follow from the concatenation: tiles contribute to the
+    /// mixture in proportion to their *sample lengths*, not their
+    /// traffic volumes (the per-tile samples are already bounded to the
+    /// same limit, so this is close for similar tiles but approximate
+    /// for very uneven ones), and a class with *any* recordings replays
+    /// every one of its pending words — including words queued by
+    /// count-only tiles — from the recorded mixture. Only a class
+    /// whose buffer stays empty across all queued tiles falls back to
+    /// its synthetic `AddressStream`, and that fallback is
+    /// bit-for-bit. Buffer capacity is retained across
+    /// [`MemSysSim::reset`], keeping the persistent driver's reuse
+    /// path allocation-free in steady state.
+    pub fn add_tile_recorded(
+        &mut self,
+        traffic: TileTraffic,
+        random_addrs: &[u64],
+        atomic_addrs: &[u64],
+    ) {
+        self.rec_random.extend_from_slice(random_addrs);
+        self.rec_atomic.extend_from_slice(atomic_addrs);
+        self.add_tile(traffic);
     }
 
     /// Whether every queued burst and atomic has drained (the flush
@@ -360,13 +431,27 @@ impl MemSysSim {
                 }
             }
             if budget > 0 && self.pending_random > 0 {
+                // Recorded word addresses map to their containing burst
+                // (wrapped into the scattered region); the synthetic
+                // stream is already burst-granular.
+                let burst = match self.rec_random.is_empty() {
+                    true => self.random_stream.peek(),
+                    false => {
+                        let addr = self.rec_random[self.rec_random_pos % self.rec_random.len()];
+                        (addr / BURST_WORDS as u64) % RANDOM_REGION_BURSTS
+                    }
+                };
                 let req = BurstRequest {
-                    addr: self.random_stream.peek() * BURST_BYTES,
+                    addr: burst * BURST_BYTES,
                     is_write: false,
                     tag: self.next_tag,
                 };
                 if self.channels.push(req).is_ok() {
-                    self.random_stream.advance();
+                    if self.rec_random.is_empty() {
+                        self.random_stream.advance();
+                    } else {
+                        self.rec_random_pos += 1;
+                    }
                     self.next_tag += 1;
                     self.pending_random -= 1;
                     self.inflight += 1;
@@ -375,10 +460,16 @@ impl MemSysSim {
                 }
             }
             if budget > 0 && self.pending_atomic > 0 {
-                // The atomic stream spans all regions; the high region
+                // The atomic space spans all regions; the high region
                 // bits select the owning AG and the low bits address
-                // into its private region.
-                let word = self.atomic_stream.peek();
+                // into its private region. Recorded addresses wrap into
+                // the same combined space, so the steering is identical
+                // for both sources.
+                let span = self.cfg.ag_region_words as u64 * self.cfg.channels as u64;
+                let word = match self.rec_atomic.is_empty() {
+                    true => self.atomic_stream.peek(),
+                    false => self.rec_atomic[self.rec_atomic_pos % self.rec_atomic.len()] % span,
+                };
                 let region = (word / self.cfg.ag_region_words as u64) as usize;
                 let access = DramAccess {
                     addr: word % self.cfg.ag_region_words as u64,
@@ -387,7 +478,11 @@ impl MemSysSim {
                     tag: self.next_tag,
                 };
                 if self.ags[region].try_submit(access, self.cfg.max_outstanding_atomics) {
-                    self.atomic_stream.advance();
+                    if self.rec_atomic.is_empty() {
+                        self.atomic_stream.advance();
+                    } else {
+                        self.rec_atomic_pos += 1;
+                    }
                     self.next_tag += 1;
                     self.pending_atomic -= 1;
                     budget -= 1;
@@ -489,6 +584,18 @@ impl MemSysSim {
         self.cycles
     }
 
+    /// Atomic accesses submitted to the per-region AGs so far (the
+    /// conservation counterpart of [`MemStats::atomic_words`]: after
+    /// [`MemSysSim::run`] the two must agree).
+    pub fn ag_submitted(&self) -> u64 {
+        self.ags.iter().map(AddressGenerator::submitted).sum()
+    }
+
+    /// Atomic accesses whose results the per-region AGs have released.
+    pub fn ag_completed(&self) -> u64 {
+        self.ags.iter().map(AddressGenerator::completed).sum()
+    }
+
     /// Returns the driver to its as-constructed state — empty channels,
     /// reset AGs, rewound address streams, zeroed counters — without
     /// releasing any buffer capacity.
@@ -515,6 +622,10 @@ impl MemSysSim {
         self.stream_cursor = 0;
         self.random_stream.reset();
         self.atomic_stream.reset();
+        self.rec_random.clear();
+        self.rec_random_pos = 0;
+        self.rec_atomic.clear();
+        self.rec_atomic_pos = 0;
         self.next_tag = 0;
         self.inflight = 0;
         self.cycles = 0;
@@ -736,6 +847,98 @@ mod tests {
         assert_eq!(hits, total.row_hits);
         assert_eq!(conflicts, total.row_conflicts);
         assert!(active_channels > 1, "traffic must spread across channels");
+    }
+
+    #[test]
+    fn empty_recordings_fall_back_to_the_synthetic_streams_exactly() {
+        // `add_tile_recorded` with empty samples must be bit-identical
+        // to `add_tile` — the fallback contract every committed golden
+        // pin depends on.
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let traffic = TileTraffic {
+            stream_bursts: 1000,
+            random_bursts: 600,
+            atomic_words: 800,
+        };
+        let synthetic = run(model, traffic);
+        let mut sim = MemSysSim::new(model);
+        sim.add_tile_recorded(traffic, &[], &[]);
+        assert_eq!(synthetic, sim.run());
+    }
+
+    #[test]
+    fn recorded_hub_atomics_coalesce_and_beat_uniform_synthetic() {
+        // A hub-heavy recorded sample revisits the same bursts, so the
+        // AG's open-burst cache coalesces: fewer fetches, faster drain
+        // than the uniform synthetic spray of the same word count.
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let traffic = TileTraffic {
+            stream_bursts: 64,
+            atomic_words: 8192,
+            ..Default::default()
+        };
+        let synthetic = run(model, traffic);
+        let hubs: Vec<u64> = (0..64u64).collect(); // 4 bursts total
+        let mut sim = MemSysSim::new(model);
+        sim.add_tile_recorded(traffic, &[], &hubs);
+        let recorded = sim.run();
+        assert_eq!(recorded.atomic_words, synthetic.atomic_words);
+        assert!(
+            recorded.ag_bursts_fetched < synthetic.ag_bursts_fetched,
+            "hub replay fetched {} bursts, uniform {}",
+            recorded.ag_bursts_fetched,
+            synthetic.ag_bursts_fetched
+        );
+        assert!(
+            recorded.cycles < synthetic.cycles,
+            "hub replay ({}) must beat uniform synthetic ({})",
+            recorded.cycles,
+            synthetic.cycles
+        );
+    }
+
+    #[test]
+    fn recorded_replay_conserves_word_counts() {
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let traffic = TileTraffic {
+            stream_bursts: 500,
+            random_bursts: 700,
+            atomic_words: 900,
+        };
+        let mut sim = MemSysSim::with_config(model, MemSysConfig::with_channels(&model, 2));
+        let random: Vec<u64> = (0..40u64).map(|i| i * 37).collect();
+        let atomic: Vec<u64> = (0..40u64).map(|i| i * 91).collect();
+        sim.add_tile_recorded(traffic, &random, &atomic);
+        let stats = sim.run();
+        assert!(sim.is_done());
+        assert_eq!(stats.atomic_words, 900);
+        assert_eq!(sim.ag_submitted(), 900);
+        assert_eq!(sim.ag_completed(), 900);
+        let served: u64 = (0..2).map(|i| sim.channel_stats(i).served).sum();
+        assert_eq!(served, stats.stream_bursts + stats.random_bursts);
+    }
+
+    #[test]
+    fn recorded_reset_reproduces_a_fresh_recorded_run() {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let traffic = TileTraffic {
+            stream_bursts: 300,
+            random_bursts: 400,
+            atomic_words: 2000,
+        };
+        let addrs: Vec<u64> = (0..96u64).map(|i| (i * 7919) % 5000).collect();
+        let mut sim = MemSysSim::new(model);
+        sim.add_tile_recorded(traffic, &addrs, &addrs);
+        let first = sim.run();
+        sim.reset();
+        // After reset the recorded buffers are empty again: queueing the
+        // same recorded tile must reproduce the first run exactly.
+        sim.add_tile_recorded(traffic, &addrs, &addrs);
+        assert_eq!(first, sim.run(), "recorded reset run diverged");
+        // And a reset back to synthetic is the plain synthetic run.
+        sim.reset();
+        sim.add_tile(traffic);
+        assert_eq!(sim.run(), run(model, traffic));
     }
 
     #[test]

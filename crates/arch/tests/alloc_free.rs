@@ -24,6 +24,11 @@
 //!   it instead of constructing one per `simulate` call): a reset must
 //!   release no capacity, so a warmed driver's entire reset → add-tile
 //!   → run round trip stays off the heap.
+//! * `MemSysSim::add_tile_recorded` + run — the recorded-address replay
+//!   (`CapstanConfig::mem_addresses = Recorded`): the per-class replay
+//!   buffers retain capacity across `reset` and the cyclic cursor
+//!   replay adds no per-access state, so replaying recorded vectors is
+//!   as allocation-free as the synthetic streams.
 //!
 //! The tests live in their own integration-test binary because a
 //! `#[global_allocator]` is process-wide.
@@ -333,6 +338,53 @@ fn memsys_persistent_reset_and_rerun_is_allocation_free() {
             golden,
             "{channels}ch: reused driver diverged from its warm-up run"
         );
+    }
+}
+
+#[test]
+fn memsys_recorded_replay_is_allocation_free() {
+    // The recorded-address replay path (`add_tile_recorded` + run) must
+    // stay off the heap in steady state too: the per-class replay
+    // buffers keep their capacity across `reset`, so re-queueing the
+    // same recorded tiles only copies into warmed storage, and the
+    // cyclic cursor replay allocates nothing by construction.
+    for channels in [1usize, 4] {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let mut sim = MemSysSim::with_config(model, MemSysConfig::with_channels(&model, channels));
+        let batch = TileTraffic {
+            stream_bursts: 1_000,
+            random_bursts: 2_000,
+            atomic_words: 8_000,
+        };
+        // Hub-heavy recorded samples: the coalescing fast path and the
+        // eviction/writeback path both churn.
+        let random_addrs: Vec<u64> = (0..256u64).map(|i| (i * 7919) % (1 << 20)).collect();
+        let atomic_addrs: Vec<u64> = (0..256u64)
+            .map(|i| if i % 4 == 0 { i % 64 } else { i * 131 })
+            .collect();
+        // Warm-up: two full reuse cycles grow every buffer (incl. the
+        // replay buffers) to its high-water mark.
+        let mut golden = None;
+        for _ in 0..2 {
+            sim.reset();
+            sim.add_tile_recorded(batch, &random_addrs, &atomic_addrs);
+            golden = Some(sim.run());
+        }
+        let before = allocations();
+        sim.reset();
+        sim.add_tile_recorded(batch, &random_addrs, &atomic_addrs);
+        let stats = sim.run();
+        assert_eq!(
+            allocations() - before,
+            0,
+            "{channels}ch: recorded reset + replay allocated after warm-up"
+        );
+        assert_eq!(
+            Some(stats),
+            golden,
+            "{channels}ch: reused recorded driver diverged from its warm-up run"
+        );
+        assert!(stats.ag_bursts_written > 0, "writeback path not exercised");
     }
 }
 

@@ -3,55 +3,175 @@
 //!
 //! ```text
 //! experiments [NAMES...] [--scale small|medium|large] [--mem analytic|cycle]
-//!             [--mem-channels N] [--bench-out PATH] [--bench-base PATH]
+//!             [--mem-addresses synthetic|recorded] [--mem-channels N]
+//!             [--bench-out PATH] [--bench-base PATH] [--no-bench-out]
 //! ```
 //!
 //! `NAMES` are `table4..table13`, `table13-atomics`, `table13-channels`,
-//! `fig4..fig7`, `ablations`, `extensions`, or `all` (the default).
-//! Full-suite (`all`) runs write `BENCH_core.json` — wall seconds,
-//! simulated cycles, and simulated cycles per wall second for every
-//! experiment — so successive PRs have a comparable perf baseline.
-//! Subset runs do NOT write it by default (a partial file would silently
-//! replace the committed full-suite baseline); pass `--bench-out PATH`
-//! to record one anyway, or `--no-bench-out` to suppress the full-suite
-//! write.
+//! `table13-recorded`, `fig4..fig7`, `ablations`, `extensions`, or
+//! `all` (the default). Repeated names are deduplicated (first
+//! occurrence wins), so `experiments fig7 fig7` cannot write duplicate
+//! bench rows that would later confuse `bench-gate`'s record matching.
+//! Unknown `--flags` and flags missing their value are rejected with a
+//! usage message and exit code 2 — they are never misread as experiment
+//! names. Full-suite (`all`) runs write `BENCH_core.json` — wall
+//! seconds, simulated cycles, and simulated cycles per wall second for
+//! every experiment — so successive PRs have a comparable perf
+//! baseline. Subset runs do NOT write it by default (a partial file
+//! would silently replace the committed full-suite baseline); pass
+//! `--bench-out PATH` to record one anyway, or `--no-bench-out` to
+//! suppress the full-suite write.
 //!
 //! `--mem cycle` switches every constructed configuration to the
 //! cycle-level AG-backed memory mode (`MemTiming::CycleLevel`) and tags
 //! each bench-record row with a `+cycle` suffix: cycle-level simulated
 //! cycles intentionally differ from analytic ones, so the two modes form
 //! separate record groups in the baseline and the gate compares like
-//! with like. `--mem-channels N` sets the cycle-level mode's
-//! region-channel count (per-AG channels behind a crossbar; default 1)
-//! and, when N > 1, appends a `+chN` suffix for the same reason — a
-//! different topology simulates a different cycle count. The `+chN`
-//! suffix applies regardless of `--mem`, because some experiments
-//! (e.g. `table13-atomics`) exercise the cycle-level driver internally
-//! even under the analytic default and therefore pick up the channel
-//! override too — an unlabeled row would silently diverge from the
-//! committed baseline. (`table13-channels` is the exception: it sets
-//! its channel counts per configuration and ignores both process
-//! defaults.) `--bench-base
-//! PATH` seeds the written record with an existing baseline's rows
-//! (same-name rows replaced), which is how the committed
-//! `BENCH_core.json` carries the analytic full suite plus the
-//! cycle-mode and multi-channel smoke groups (the full recipe is in
-//! `crates/bench/README.md`):
+//! with like. `--mem-addresses recorded` switches the cycle-level
+//! mode's scattered addresses from the synthetic uniform streams to the
+//! recorder's real sampled address vectors
+//! (`MemAddressing::Recorded`) and appends a `+rec` suffix.
+//! `--mem-channels N` sets the cycle-level mode's region-channel count
+//! (per-AG channels behind a crossbar; default 1) and, when N > 1,
+//! appends a `+chN` suffix for the same reason — a different topology
+//! simulates a different cycle count. The `+rec` and `+chN` suffixes
+//! apply regardless of `--mem`, because some experiments (e.g.
+//! `table13-atomics`) exercise the cycle-level driver internally even
+//! under the analytic default and therefore pick up the overrides too —
+//! an unlabeled row would silently diverge from the committed baseline.
+//! (`table13-channels` and `table13-recorded` are the exceptions: they
+//! set their channel counts / addressing per configuration and ignore
+//! the process defaults.) `--bench-base PATH` seeds the written record
+//! with an existing baseline's rows (same-name rows replaced), which is
+//! how the committed `BENCH_core.json` carries the analytic full suite
+//! plus the cycle-mode, multi-channel, and recorded-address smoke
+//! groups (the full recipe is in `crates/bench/README.md`):
 //!
 //! ```text
 //! experiments all --scale small
-//! experiments table13-atomics table13-channels fig7 --mem cycle --scale small \
-//!     --bench-base BENCH_core.json --bench-out BENCH_core.json
+//! experiments table13-atomics table13-channels table13-recorded fig7 --mem cycle \
+//!     --scale small --bench-base BENCH_core.json --bench-out BENCH_core.json
 //! experiments table13-atomics fig7 --mem cycle --mem-channels 4 --scale small \
 //!     --bench-base BENCH_core.json --bench-out BENCH_core.json
+//! experiments table13-recorded fig7 --mem cycle --mem-addresses recorded \
+//!     --scale small --bench-base BENCH_core.json --bench-out BENCH_core.json
 //! ```
 
 use capstan_bench::experiments as exp;
 use capstan_bench::gate;
 use capstan_bench::Suite;
-use capstan_core::config::{set_default_mem_channels, set_default_mem_timing, MemTiming};
+use capstan_core::config::{
+    set_default_mem_addressing, set_default_mem_channels, set_default_mem_timing, MemAddressing,
+    MemTiming,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+const USAGE: &str = "usage: experiments [NAMES...] [--scale small|medium|large] \
+[--mem analytic|cycle] [--mem-addresses synthetic|recorded] [--mem-channels N] \
+[--bench-out PATH] [--bench-base PATH] [--no-bench-out]";
+
+/// Parsed command line (process-default setters are applied by `main`,
+/// not here, so parsing stays a pure, unit-testable function).
+#[derive(Debug, Default, PartialEq)]
+struct Cli {
+    /// Experiment names in command-line order, `all` not yet expanded.
+    which: Vec<String>,
+    /// Validated scale name (default `medium`).
+    scale: Option<String>,
+    /// `--mem` override (last one wins, like the process setters).
+    mem: Option<MemTiming>,
+    /// `--mem-addresses` override.
+    mem_addresses: Option<MemAddressing>,
+    /// `--mem-channels` override.
+    mem_channels: Option<usize>,
+    bench_out: Option<String>,
+    bench_base: Option<String>,
+    no_bench_out: bool,
+}
+
+/// Parses the argument list. Unknown `--flags`, flags missing their
+/// value, and unparsable values are all errors (the caller prints the
+/// usage and exits 2) — they must never fall through as experiment
+/// names, where they would only surface later as a confusing "unknown
+/// experiment" failure or a panicking `.expect`.
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+        // A following flag is not a value: `--bench-out --no-bench-out`
+        // must exit 2, not write a record to a file named
+        // `--no-bench-out` while silently dropping the second flag.
+        match it.next() {
+            Some(v) if !v.starts_with('-') => Ok(v.to_string()),
+            _ => Err(format!("{flag} needs a value")),
+        }
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let name = value("--scale", &mut it)?;
+                if Suite::from_name(&name).is_none() {
+                    return Err(format!("unknown scale `{name}` (small|medium|large)"));
+                }
+                cli.scale = Some(name);
+            }
+            "--mem" => {
+                cli.mem = Some(match value("--mem", &mut it)?.as_str() {
+                    "analytic" => MemTiming::Analytic,
+                    "cycle" => MemTiming::CycleLevel,
+                    other => return Err(format!("unknown memory mode `{other}` (analytic|cycle)")),
+                });
+            }
+            "--mem-addresses" => {
+                cli.mem_addresses = Some(match value("--mem-addresses", &mut it)?.as_str() {
+                    "synthetic" => MemAddressing::Synthetic,
+                    "recorded" => MemAddressing::Recorded,
+                    other => {
+                        return Err(format!(
+                            "unknown addressing mode `{other}` (synthetic|recorded)"
+                        ))
+                    }
+                });
+            }
+            "--mem-channels" => {
+                let raw = value("--mem-channels", &mut it)?;
+                let n: usize = raw.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    format!("--mem-channels needs a positive integer, got `{raw}`")
+                })?;
+                cli.mem_channels = Some(n);
+            }
+            "--bench-out" => cli.bench_out = Some(value("--bench-out", &mut it)?),
+            "--bench-base" => cli.bench_base = Some(value("--bench-base", &mut it)?),
+            "--no-bench-out" => cli.no_bench_out = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            name => cli.which.push(name.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+/// Expands `all` into the canonical experiment list and deduplicates,
+/// keeping the first occurrence of each name — duplicate CLI names (or
+/// `all` alongside an explicit member) would otherwise run twice and
+/// write duplicate bench rows, which `bench-gate`'s name-keyed record
+/// matching cannot disambiguate.
+fn expand_and_dedup(which: &[String]) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    which
+        .iter()
+        .flat_map(|w| {
+            if w == "all" {
+                exp::ALL_NAMES.iter().map(|s| s.to_string()).collect()
+            } else {
+                vec![w.clone()]
+            }
+        })
+        .filter(|name| seen.insert(name.clone()))
+        .collect()
+}
 
 struct BenchRecord {
     name: String,
@@ -110,95 +230,70 @@ fn bench_json(scale: &str, records: &[BenchRecord]) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which: Vec<String> = Vec::new();
-    let mut suite = Suite::medium();
-    let mut scale_name = "medium".to_string();
-    let mut bench_out: Option<String> = None;
-    let mut bench_base: Option<String> = None;
-    let mut no_bench_out = false;
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(err) => {
+            eprintln!("experiments: {err}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let scale_name = cli.scale.unwrap_or_else(|| "medium".to_string());
+    let suite = Suite::from_name(&scale_name).expect("scale validated during parsing");
+    // Suffixes are derived from the last flag occurrence (parse keeps
+    // last-one-wins semantics), matching the process-default setters.
     let mut mem_suffix = "";
+    if let Some(mode) = cli.mem {
+        set_default_mem_timing(mode);
+        mem_suffix = match mode {
+            MemTiming::Analytic => "",
+            MemTiming::CycleLevel => "+cycle",
+        };
+    }
+    let mut rec_suffix = "";
+    if let Some(mode) = cli.mem_addresses {
+        set_default_mem_addressing(mode);
+        rec_suffix = match mode {
+            MemAddressing::Synthetic => "",
+            MemAddressing::Recorded => "+rec",
+        };
+    }
     let mut chan_suffix = String::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scale" => {
-                let name = it.next().expect("--scale needs a value");
-                suite = Suite::from_name(name)
-                    .unwrap_or_else(|| panic!("unknown scale `{name}` (small|medium|large)"));
-                scale_name = name.to_string();
-            }
-            "--mem" => {
-                let mode = it.next().expect("--mem needs a value");
-                // Suffixes are assigned unconditionally so repeated
-                // flags keep last-one-wins semantics for the row label
-                // too, matching the process-default setters.
-                match mode.as_str() {
-                    "analytic" => {
-                        set_default_mem_timing(MemTiming::Analytic);
-                        mem_suffix = "";
-                    }
-                    "cycle" => {
-                        set_default_mem_timing(MemTiming::CycleLevel);
-                        mem_suffix = "+cycle";
-                    }
-                    other => panic!("unknown memory mode `{other}` (analytic|cycle)"),
-                }
-            }
-            "--mem-channels" => {
-                let n: usize = it
-                    .next()
-                    .expect("--mem-channels needs a value")
-                    .parse()
-                    .expect("--mem-channels needs a positive integer");
-                assert!(n > 0, "--mem-channels needs a positive integer");
-                set_default_mem_channels(n);
-                chan_suffix = if n > 1 {
-                    format!("+ch{n}")
-                } else {
-                    String::new()
-                };
-            }
-            "--bench-out" => {
-                bench_out = Some(it.next().expect("--bench-out needs a path").to_string());
-            }
-            "--bench-base" => {
-                bench_base = Some(it.next().expect("--bench-base needs a path").to_string());
-            }
-            "--no-bench-out" => no_bench_out = true,
-            other => which.push(other.to_string()),
+    if let Some(n) = cli.mem_channels {
+        set_default_mem_channels(n);
+        if n > 1 {
+            chan_suffix = format!("+ch{n}");
         }
     }
+
+    let mut which = cli.which;
     if which.is_empty() {
         which.push("all".to_string());
     }
-    // Only a full-suite *analytic, single-channel* run defaults to
-    // writing the baseline: a subset record — or a cycle-mode or
-    // multi-channel run, whose rows are all renamed with a suffix —
-    // would silently replace the committed full-suite file. Suffixed
-    // records must name their output explicitly (and merge via
-    // --bench-base to keep every group).
+    // Only a full-suite *analytic, synthetic, single-channel* run
+    // defaults to writing the baseline: a subset record — or a
+    // cycle-mode, recorded-address, or multi-channel run, whose rows
+    // are all renamed with a suffix — would silently replace the
+    // committed full-suite file. Suffixed records must name their
+    // output explicitly (and merge via --bench-base to keep every
+    // group).
+    let mut bench_out = cli.bench_out;
     if bench_out.is_none()
-        && !no_bench_out
+        && !cli.no_bench_out
         && mem_suffix.is_empty()
+        && rec_suffix.is_empty()
         && chan_suffix.is_empty()
         && which.iter().any(|w| w == "all")
     {
         bench_out = Some("BENCH_core.json".to_string());
     }
-    if no_bench_out {
+    if cli.no_bench_out {
         bench_out = None;
     }
-    // Expand `all` so the perf record stays per-experiment.
-    let expanded: Vec<String> = which
-        .into_iter()
-        .flat_map(|w| {
-            if w == "all" {
-                exp::ALL_NAMES.iter().map(|s| s.to_string()).collect()
-            } else {
-                vec![w]
-            }
-        })
-        .collect();
+    // Expand `all` so the perf record stays per-experiment, and drop
+    // duplicate names so no two bench rows can share a name.
+    let expanded = expand_and_dedup(&which);
 
     let mut records = Vec::new();
     let mut failed = false;
@@ -207,7 +302,7 @@ fn main() {
         let start = Instant::now();
         if run_one(name, &suite) {
             records.push(BenchRecord {
-                name: format!("{name}{mem_suffix}{chan_suffix}"),
+                name: format!("{name}{mem_suffix}{rec_suffix}{chan_suffix}"),
                 wall_seconds: start.elapsed().as_secs_f64(),
                 simulated_cycles: capstan_sim::stats::simulated_cycles() - cycles_before,
                 cycles_per_second: None,
@@ -220,7 +315,7 @@ fn main() {
     // Seed the record with an existing baseline's rows (same-name rows
     // replaced by this run), so one file can carry several record
     // groups — e.g. the analytic full suite plus the `+cycle` smoke.
-    if let Some(base_path) = bench_base {
+    if let Some(base_path) = cli.bench_base {
         let text = std::fs::read_to_string(&base_path)
             .unwrap_or_else(|e| panic!("could not read --bench-base {base_path}: {e}"));
         let base = gate::parse_record(&text)
@@ -257,5 +352,107 @@ fn main() {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn plain_names_and_flags_parse() {
+        let cli = parse_args(&args(&[
+            "fig7",
+            "--scale",
+            "small",
+            "--mem",
+            "cycle",
+            "--mem-addresses",
+            "recorded",
+            "--mem-channels",
+            "4",
+            "--bench-out",
+            "OUT.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.which, vec!["fig7"]);
+        assert_eq!(cli.scale.as_deref(), Some("small"));
+        assert_eq!(cli.mem, Some(MemTiming::CycleLevel));
+        assert_eq!(cli.mem_addresses, Some(MemAddressing::Recorded));
+        assert_eq!(cli.mem_channels, Some(4));
+        assert_eq!(cli.bench_out.as_deref(), Some("OUT.json"));
+        assert!(!cli.no_bench_out);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_treated_as_experiments() {
+        let err = parse_args(&args(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        // Single-dash typos are flags too, never experiment names.
+        assert!(parse_args(&args(&["-mem", "cycle"])).is_err());
+    }
+
+    #[test]
+    fn missing_flag_values_are_errors_not_panics() {
+        for flag in [
+            "--scale",
+            "--mem",
+            "--mem-addresses",
+            "--mem-channels",
+            "--bench-out",
+            "--bench-base",
+        ] {
+            let err = parse_args(&args(&[flag])).unwrap_err();
+            assert!(err.contains("needs a value"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn a_following_flag_is_not_a_value() {
+        // The classic silent misparse: the flag after a value-less flag
+        // must not be swallowed as its value.
+        let err = parse_args(&args(&["fig7", "--bench-out", "--no-bench-out"])).unwrap_err();
+        assert!(err.contains("--bench-out needs a value"), "{err}");
+        assert!(parse_args(&args(&["--mem", "--scale", "small"])).is_err());
+    }
+
+    #[test]
+    fn bad_flag_values_are_errors() {
+        assert!(parse_args(&args(&["--scale", "gigantic"])).is_err());
+        assert!(parse_args(&args(&["--mem", "psychic"])).is_err());
+        assert!(parse_args(&args(&["--mem-addresses", "vibes"])).is_err());
+        assert!(parse_args(&args(&["--mem-channels", "0"])).is_err());
+        assert!(parse_args(&args(&["--mem-channels", "many"])).is_err());
+    }
+
+    #[test]
+    fn repeated_flags_keep_last_one_wins() {
+        let cli = parse_args(&args(&["--mem", "cycle", "--mem", "analytic"])).unwrap();
+        assert_eq!(cli.mem, Some(MemTiming::Analytic));
+    }
+
+    #[test]
+    fn duplicate_experiment_names_are_deduplicated() {
+        let out = expand_and_dedup(&args(&["fig7", "fig7", "table4", "fig7"]));
+        assert_eq!(out, args(&["fig7", "table4"]));
+    }
+
+    #[test]
+    fn all_expands_once_and_absorbs_duplicates() {
+        let out = expand_and_dedup(&args(&["fig7", "all", "table4"]));
+        // `fig7` keeps its first position; `all`'s expansion skips it;
+        // `table4` (already expanded from `all`) is not repeated.
+        assert_eq!(out.iter().filter(|n| *n == "fig7").count(), 1);
+        assert_eq!(out.iter().filter(|n| *n == "table4").count(), 1);
+        assert_eq!(out.len(), exp::ALL_NAMES.len());
+        assert_eq!(out[0], "fig7");
+        let mut sorted = out.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), out.len(), "no duplicates after dedup");
     }
 }

@@ -190,11 +190,20 @@ pub fn parse_record(text: &str) -> Result<BenchRecord, GateError> {
 /// default 15%; a present but unparsable or out-of-range value is an
 /// error, so a typo'd override fails loudly instead of silently running
 /// at a different tolerance than intended.
+///
+/// NaN, infinities, negatives, and values ≥ 1 are rejected — now
+/// explicitly and regression-tested, where before the rejection was an
+/// implicit (and easily refactored-away) side effect of
+/// `Range::contains`'s comparison semantics. The stakes: Rust's
+/// `"NaN".parse::<f64>()` *succeeds*, and a NaN tolerance reaching
+/// [`compare`] would poison its `<` regression check (every comparison
+/// against NaN is false), silently disabling the perf gate while
+/// appearing to run — so `compare` now asserts the invariant too.
 pub fn tolerance_from(env: Option<&str>) -> Result<f64, String> {
     let Some(raw) = env else { return Ok(0.15) };
     raw.parse::<f64>()
         .ok()
-        .filter(|t| (0.0..1.0).contains(t))
+        .filter(|t| t.is_finite() && *t >= 0.0 && *t < 1.0)
         .ok_or_else(|| {
             format!(
                 "invalid BENCH_GATE_TOLERANCE `{raw}`: expected a fraction in [0, 1), e.g. `0.5` for 50%"
@@ -205,7 +214,17 @@ pub fn tolerance_from(env: Option<&str>) -> Result<f64, String> {
 /// Gates `fresh` against `baseline`, returning every violation (empty
 /// means the gate passes). `tolerance` is the allowed fractional drop in
 /// cycles/sec.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not a finite fraction in `[0, 1)` — a NaN
+/// tolerance would make every `<` regression check silently false,
+/// turning the gate into a no-op that still reports success.
 pub fn compare(baseline: &BenchRecord, fresh: &BenchRecord, tolerance: f64) -> Vec<GateError> {
+    assert!(
+        tolerance.is_finite() && (0.0..1.0).contains(&tolerance),
+        "gate tolerance must be a finite fraction in [0, 1), got {tolerance}"
+    );
     if baseline.schema != fresh.schema {
         return vec![GateError::SchemaMismatch {
             baseline: baseline.schema.clone(),
@@ -393,6 +412,37 @@ mod tests {
         assert!(tolerance_from(Some("75")).is_err());
         assert!(tolerance_from(Some("1.0")).is_err());
         assert!(tolerance_from(Some("-0.1")).is_err());
+    }
+
+    #[test]
+    fn non_finite_tolerances_are_rejected() {
+        // `"NaN".parse::<f64>()` succeeds, and NaN poisons every `<`
+        // comparison in `compare` (all false ⇒ no regression ever
+        // reported) — the gate would silently stop gating. Same for the
+        // infinities, which `parse` also accepts.
+        for raw in ["NaN", "nan", "-NaN", "inf", "Infinity", "-inf"] {
+            assert!(
+                tolerance_from(Some(raw)).is_err(),
+                "`{raw}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite fraction")]
+    fn compare_refuses_a_nan_tolerance() {
+        let r = record("small", &[("table4", 100, 1000.0)]);
+        let _ = compare(&r, &r, f64::NAN);
+    }
+
+    #[test]
+    fn regressions_are_still_caught_at_the_loosest_valid_tolerance() {
+        // The boundary case NaN would have masked: a huge drop must
+        // fail even at the loosest accepted tolerance.
+        let baseline = record("small", &[("table4", 100, 1000.0)]);
+        let fresh = record("small", &[("table4", 100, 1.0)]);
+        let errs = compare(&baseline, &fresh, 0.999);
+        assert!(matches!(errs.as_slice(), [GateError::Regression { .. }]));
     }
 
     #[test]

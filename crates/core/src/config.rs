@@ -29,9 +29,61 @@ pub enum MemTiming {
     CycleLevel,
 }
 
+/// How the cycle-level memory mode picks scattered (random-read and
+/// atomic) DRAM addresses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MemAddressing {
+    /// Synthetic uniform SplitMix streams (`AddressStream` in
+    /// `capstan_arch::memdrv`) — the mode every committed golden value
+    /// was captured under. Cheap and distribution-free: every scattered
+    /// access is an independent uniform draw, so hub-heavy workloads
+    /// cannot show the open-burst coalescing the paper's AGs exploit.
+    #[default]
+    Synthetic,
+    /// Replay the *real* sampled address vectors the workload recorder
+    /// captured (`TileWork::dram_random_addrs` /
+    /// `TileWork::dram_atomic_addrs` / `RemoteWork::addr_sampled` in
+    /// `capstan_core::program`): the bounded deterministic sample is
+    /// cycled to cover the full traffic total, so power-law destination
+    /// skew reaches the per-region `AddressGenerator`s and coalesces in
+    /// their open-burst caches. Tiles with **no** recorded addresses
+    /// fall back to the synthetic streams bit-for-bit, so this mode is
+    /// a strict refinement: it only changes results for workloads that
+    /// actually record addresses. Ignored by the analytic timing mode.
+    Recorded,
+}
+
 /// Process-wide default for [`CapstanConfig::new`]'s `mem_timing` field
 /// (0 = analytic, 1 = cycle-level).
 static DEFAULT_MEM_TIMING: AtomicU8 = AtomicU8::new(0);
+
+/// Process-wide default for [`CapstanConfig::new`]'s `mem_addresses`
+/// field (0 = synthetic, 1 = recorded).
+static DEFAULT_MEM_ADDRESSING: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the scattered-address mode newly constructed configurations
+/// default to (the `experiments --mem-addresses recorded` flag). Like
+/// [`set_default_mem_timing`], intended to be called **once, at process
+/// start**; flipping it mid-run would break the determinism contract
+/// between concurrently recorded experiments.
+pub fn set_default_mem_addressing(mode: MemAddressing) {
+    DEFAULT_MEM_ADDRESSING.store(
+        match mode {
+            MemAddressing::Synthetic => 0,
+            MemAddressing::Recorded => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The scattered-address mode newly constructed configurations default
+/// to.
+pub fn default_mem_addressing() -> MemAddressing {
+    match DEFAULT_MEM_ADDRESSING.load(Ordering::Relaxed) {
+        0 => MemAddressing::Synthetic,
+        _ => MemAddressing::Recorded,
+    }
+}
 
 /// Sets the memory-timing mode newly constructed configurations default
 /// to. Intended to be called **once, at process start** (the
@@ -134,6 +186,18 @@ pub struct CapstanConfig {
     /// AG (`capstan_arch::memdrv::PAPER_CHANNELS` = 80). Ignored by the
     /// analytic mode.
     pub mem_channels: usize,
+    /// How the cycle-level mode picks scattered DRAM addresses:
+    /// synthetic uniform streams (the default every committed golden
+    /// value was captured under) or replay of the recorder's real
+    /// sampled address vectors (see [`MemAddressing`]). Ignored by the
+    /// analytic mode.
+    pub mem_addresses: MemAddressing,
+    /// Maximum recorded DRAM addresses retained per tile *per traffic
+    /// class* (random reads, atomics, remote-update destinations). The
+    /// recorder keeps a deterministic decimating sample of this size;
+    /// the cycle-level recorded-address replay cycles through it to
+    /// cover the class's full traffic total.
+    pub addr_sample_limit: usize,
 }
 
 impl CapstanConfig {
@@ -157,6 +221,8 @@ impl CapstanConfig {
             serialized_sram: false,
             mem_timing: default_mem_timing(),
             mem_channels: default_mem_channels(),
+            mem_addresses: default_mem_addressing(),
+            addr_sample_limit: 512,
         }
     }
 
@@ -230,6 +296,22 @@ mod tests {
         // process; explicit per-config overrides are the test-safe way.)
         assert_eq!(CapstanConfig::paper_default().mem_channels, 1);
         assert_eq!(default_mem_channels(), 1);
+    }
+
+    #[test]
+    fn mem_addressing_defaults_to_synthetic() {
+        // Every golden value was captured under synthetic scattered
+        // addressing; the process-wide default must not drift. (As with
+        // the timing mode, no test may call `set_default_mem_addressing`
+        // — tests share one process; explicit per-config overrides are
+        // the test-safe way.)
+        assert_eq!(MemAddressing::default(), MemAddressing::Synthetic);
+        assert_eq!(
+            CapstanConfig::paper_default().mem_addresses,
+            MemAddressing::Synthetic
+        );
+        assert_eq!(default_mem_addressing(), MemAddressing::Synthetic);
+        assert!(CapstanConfig::paper_default().addr_sample_limit > 0);
     }
 
     #[test]

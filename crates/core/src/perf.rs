@@ -48,6 +48,14 @@
 //!   counts, so perf baselines are recorded per mode (and per channel
 //!   count).
 //!
+//! Within the cycle-level mode, [`CapstanConfig::mem_addresses`] picks
+//! where scattered (random/atomic) DRAM addresses come from: synthetic
+//! uniform streams (the default every golden value was captured under)
+//! or the recorder's *real* sampled address vectors
+//! (`MemAddressing::Recorded`), replayed cyclically so hub-heavy
+//! workloads coalesce in the AGs' open-burst caches. Workloads without
+//! recordings fall back to the synthetic streams bit-for-bit.
+//!
 //! # The persistent memory-driver pool
 //!
 //! Sweep-style experiments call [`simulate`] hundreds of times;
@@ -69,7 +77,7 @@
 //! `crates/arch/tests/alloc_free.rs`.
 
 use crate::config::CapstanConfig;
-use crate::config::MemTiming;
+use crate::config::{MemAddressing, MemTiming};
 use crate::program::{TileWork, Workload};
 use crate::report::{Breakdown, PerfReport};
 use capstan_arch::memdrv::{MemStats, MemSysConfig, MemSysSim, TileTraffic};
@@ -370,24 +378,58 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
                 // persistent per worker thread (see the module docs), so
                 // sweep-style experiments pay construction once.
                 let mcfg = MemSysConfig::with_channels(&dram_model, cfg.mem_channels);
+                // Under recorded addressing, each tile also hands the
+                // driver its sampled scattered-address vectors. The
+                // fallback is per traffic class and driver-wide: a
+                // class whose recorded buffer stays empty across every
+                // queued tile replays from its synthetic stream
+                // bit-for-bit (so the two modes only diverge for
+                // workloads that actually record addresses), while a
+                // class with any recordings replays *all* of its words
+                // — including count-only contributions — from the
+                // concatenated sample, weighted by sample length. See
+                // `MemSysSim::add_tile_recorded` for the contract.
+                let recorded = matches!(cfg.mem_addresses, MemAddressing::Recorded);
                 let stats = with_memsys(dram_model, mcfg, |msim| {
                     for tile in &workload.tiles {
-                        msim.add_tile(TileTraffic {
+                        let traffic = TileTraffic {
                             stream_bursts: effective_stream_bytes(tile).div_ceil(BURST_BYTES),
                             random_bursts: tile.dram_random_words,
                             atomic_words: tile.dram_atomic_words,
-                        });
+                        };
+                        if recorded {
+                            msim.add_tile_recorded(
+                                traffic,
+                                &tile.dram_random_addrs,
+                                &tile.dram_atomic_addrs,
+                            );
+                        } else {
+                            msim.add_tile(traffic);
+                        }
                     }
                     if fallback_atomic_entries > 0 {
                         // Shuffle-less fallback traffic (Table 11's
                         // "None" column): cross-tile updates as DRAM
                         // atomics. The raw entry count goes in — the
                         // AG's open-burst tracking coalesces, not a
-                        // pre-applied constant.
-                        msim.add_tile(TileTraffic {
+                        // pre-applied constant. Under recorded
+                        // addressing the tiles' sampled remote
+                        // destinations feed the atomic replay, so hub
+                        // destinations coalesce with their real skew.
+                        let traffic = TileTraffic {
                             atomic_words: fallback_atomic_entries,
                             ..Default::default()
-                        });
+                        };
+                        if recorded {
+                            for tile in &workload.tiles {
+                                msim.add_tile_recorded(
+                                    TileTraffic::default(),
+                                    &[],
+                                    &tile.remote.addr_sampled,
+                                );
+                            }
+                        }
+                        msim.add_tile(traffic);
                     }
                     msim.run()
                 });
@@ -711,6 +753,62 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.mem, b.mem);
         assert!(a.mem.is_some());
+    }
+
+    #[test]
+    fn recorded_addressing_without_recordings_is_bit_identical_to_synthetic() {
+        // The fallback contract end to end through `simulate`: a
+        // workload that never recorded addresses must produce the same
+        // report under both addressing modes.
+        let mut wl = WorkloadBuilder::new("unrecorded");
+        {
+            let mut t = wl.tile();
+            t.foreach_vec(500, |_, _| {});
+            t.dram_stream_read(1 << 16);
+            t.dram_random_read(2048);
+            t.dram_atomic(2048);
+            wl.commit(t);
+        }
+        let w = wl.finish();
+        let mut synth = CapstanConfig::new(MemoryKind::Hbm2e);
+        synth.mem_timing = MemTiming::CycleLevel;
+        synth.mem_addresses = MemAddressing::Synthetic;
+        let mut rec = synth;
+        rec.mem_addresses = MemAddressing::Recorded;
+        assert_eq!(simulate(&w, &synth), simulate(&w, &rec));
+    }
+
+    #[test]
+    fn recorded_hub_addresses_beat_synthetic_on_skewed_atomics() {
+        // A hub-heavy recorded atomic stream coalesces in the AG's
+        // open-burst cache; the uniform synthetic spray cannot.
+        let mut wl = WorkloadBuilder::new("hubs");
+        {
+            let mut t = wl.tile();
+            t.foreach_vec(500, |_, _| {});
+            for i in 0..8192u64 {
+                t.dram_atomic_at(i % 64); // 4 hot bursts
+            }
+            wl.commit(t);
+        }
+        let w = wl.finish();
+        let mut synth = CapstanConfig::new(MemoryKind::Hbm2e);
+        synth.mem_timing = MemTiming::CycleLevel;
+        let mut rec = synth;
+        rec.mem_addresses = MemAddressing::Recorded;
+        let s = simulate(&w, &synth);
+        let r = simulate(&w, &rec);
+        assert_eq!(
+            s.mem.unwrap().atomic_words,
+            r.mem.unwrap().atomic_words,
+            "word counts must be conserved across addressing modes"
+        );
+        assert!(
+            r.cycles < s.cycles,
+            "recorded hubs ({}) must beat synthetic uniform ({})",
+            r.cycles,
+            s.cycles
+        );
     }
 
     #[test]

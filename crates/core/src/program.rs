@@ -14,7 +14,11 @@
 //! numerically correct results), while the recorder captures everything
 //! the performance model needs: vectorized iteration counts, scanner
 //! inputs and cycle statistics, real SpMU address vectors (sampled),
-//! shuffle-network entries, and DRAM traffic.
+//! shuffle-network entries, and DRAM traffic — including bounded
+//! deterministic samples of the *real* scattered DRAM addresses
+//! (random reads, atomics, remote-update destinations) that the
+//! cycle-level memory mode can replay under
+//! `CapstanConfig::mem_addresses = Recorded`.
 
 use crate::config::CapstanConfig;
 use capstan_arch::scanner::{BitVecScanner, DataScanner, ScanElement, ScanMode, ScanStats};
@@ -101,6 +105,15 @@ pub struct RemoteWork {
     pub total_vectors: u64,
     /// Sampled request vectors (destination ports populated).
     pub sampled: Vec<ShuffleVector>,
+    /// Sampled destination *word addresses* of remote updates (recorded
+    /// by [`TileRecorder::remote_update_at`]; empty when the
+    /// application only reports destination tiles). On a machine
+    /// without a shuffle network these updates fall back to DRAM
+    /// atomics, and the cycle-level memory mode's recorded-address
+    /// replay (`CapstanConfig::mem_addresses`) feeds this sample to the
+    /// per-region address generators so hub-heavy destination skew can
+    /// coalesce in their open-burst caches.
+    pub addr_sampled: Vec<u64>,
 }
 
 /// Everything recorded about one tile (one outer-parallel pipeline
@@ -137,6 +150,17 @@ pub struct TileWork {
     pub dram_random_words: u64,
     /// Atomic DRAM words (read-modify-writes through the AGs).
     pub dram_atomic_words: u64,
+    /// Sampled word addresses of the random-access reads (recorded by
+    /// [`TileRecorder::dram_random_read_at`]; empty when the
+    /// application only reports counts). Replayed by the cycle-level
+    /// memory mode under `CapstanConfig::mem_addresses = Recorded`.
+    pub dram_random_addrs: Vec<u64>,
+    /// Sampled word addresses of the atomic read-modify-writes
+    /// (recorded by [`TileRecorder::dram_atomic_at`]; empty when the
+    /// application only reports counts). Replayed through the
+    /// per-region address generators under
+    /// `CapstanConfig::mem_addresses = Recorded`.
+    pub dram_atomic_addrs: Vec<u64>,
 }
 
 impl TileWork {
@@ -159,12 +183,15 @@ impl TileWork {
                 total_entries: 0,
                 total_vectors: 0,
                 sampled: Vec::new(),
+                addr_sampled: Vec::new(),
             },
             dram_stream_bytes: 0,
             dram_compressible_bytes: 0,
             dram_compressed_bytes: 0,
             dram_random_words: 0,
             dram_atomic_words: 0,
+            dram_random_addrs: Vec::new(),
+            dram_atomic_addrs: Vec::new(),
         }
     }
 }
@@ -194,6 +221,7 @@ pub struct WorkloadBuilder {
     shuffle_ports: usize,
     sram_limit: usize,
     shuffle_limit: usize,
+    addr_limit: usize,
     tiles: Vec<TileWork>,
     dependent_rounds: u64,
     cus_per_pipeline: usize,
@@ -216,6 +244,7 @@ impl WorkloadBuilder {
             shuffle_ports: cfg.shuffle.map(|s| s.ports).unwrap_or(16),
             sram_limit: cfg.sram_sample_limit,
             shuffle_limit: cfg.shuffle_sample_limit,
+            addr_limit: cfg.addr_sample_limit,
             tiles: Vec::new(),
             dependent_rounds: 0,
             cus_per_pipeline: 1,
@@ -240,6 +269,9 @@ impl WorkloadBuilder {
             remote_builder: Vec::new(),
             sram_sample: Decimator::new(self.sram_limit),
             remote_sample: Decimator::new(self.shuffle_limit),
+            remote_addr_sample: Decimator::new(self.addr_limit),
+            random_addr_sample: Decimator::new(self.addr_limit),
+            atomic_addr_sample: Decimator::new(self.addr_limit),
         }
     }
 
@@ -288,6 +320,9 @@ pub struct TileRecorder {
     remote_builder: Vec<Option<ShuffleEntry>>,
     sram_sample: Decimator<AccessVector>,
     remote_sample: Decimator<ShuffleVector>,
+    remote_addr_sample: Decimator<u64>,
+    random_addr_sample: Decimator<u64>,
+    atomic_addr_sample: Decimator<u64>,
 }
 
 impl TileRecorder {
@@ -297,6 +332,9 @@ impl TileRecorder {
         self.flush_remote();
         self.work.sram.sampled = std::mem::take(&mut self.sram_sample).into_items();
         self.work.remote.sampled = std::mem::take(&mut self.remote_sample).into_items();
+        self.work.remote.addr_sampled = std::mem::take(&mut self.remote_addr_sample).into_items();
+        self.work.dram_random_addrs = std::mem::take(&mut self.random_addr_sample).into_items();
+        self.work.dram_atomic_addrs = std::mem::take(&mut self.atomic_addr_sample).into_items();
         self.work
     }
 
@@ -470,6 +508,18 @@ impl TileRecorder {
         self.work.remote.total_entries += 1;
     }
 
+    /// Records a cross-tile update like [`TileRecorder::remote_update`],
+    /// additionally sampling the destination *word address* `addr` (the
+    /// remote entry being updated — e.g. the vertex id of a graph
+    /// update). The sample drives the cycle-level memory mode's
+    /// recorded-address replay on machines without a shuffle network,
+    /// where these updates fall back to DRAM atomics; hub-heavy
+    /// destination skew then coalesces in the AGs' open-burst caches.
+    pub fn remote_update_at(&mut self, dest_tile: usize, addr: u64) {
+        self.remote_update(dest_tile);
+        self.remote_addr_sample.offer(addr);
+    }
+
     /// Records a streaming DRAM read of `bytes` (dense tile loads).
     pub fn dram_stream_read(&mut self, bytes: usize) {
         self.work.dram_stream_bytes += bytes as u64;
@@ -505,9 +555,29 @@ impl TileRecorder {
         self.work.dram_random_words += words;
     }
 
+    /// Records one burst-granular random-access DRAM read at word
+    /// address `addr`, sampling the address for the cycle-level memory
+    /// mode's recorded-address replay (counts exactly like
+    /// `dram_random_read(1)`).
+    pub fn dram_random_read_at(&mut self, addr: u64) {
+        self.work.dram_random_words += 1;
+        self.random_addr_sample.offer(addr);
+    }
+
     /// Records `words` atomic DRAM read-modify-writes through an AG.
     pub fn dram_atomic(&mut self, words: u64) {
         self.work.dram_atomic_words += words;
+    }
+
+    /// Records one atomic DRAM read-modify-write at word address
+    /// `addr`, sampling the address for the cycle-level memory mode's
+    /// recorded-address replay (counts exactly like `dram_atomic(1)`).
+    /// Repeated hot addresses — power-law hubs, conv halo cells — let
+    /// the replay coalesce in the AGs' open-burst caches the way the
+    /// paper's hardware does (§3.4).
+    pub fn dram_atomic_at(&mut self, addr: u64) {
+        self.work.dram_atomic_words += 1;
+        self.atomic_addr_sample.offer(addr);
     }
 
     // --- internals -----------------------------------------------------------
@@ -734,6 +804,68 @@ mod tests {
         let tile = &w.tiles[0];
         assert_eq!(tile.dram_compressible_bytes, 4096);
         assert!(tile.dram_compressed_bytes < tile.dram_compressible_bytes / 2);
+    }
+
+    #[test]
+    fn address_recording_samples_and_counts() {
+        let mut wl = WorkloadBuilder::new("t");
+        {
+            let mut t = wl.tile();
+            for i in 0..100u64 {
+                t.dram_atomic_at(i % 8); // hot set
+                t.dram_random_read_at(i * 16);
+            }
+            t.dram_atomic(50); // count-only API still composes
+            t.foreach_vec(32, |t, i| t.remote_update_at(i % 5, (i % 3) as u64));
+            wl.commit(t);
+        }
+        let w = wl.finish();
+        let tile = &w.tiles[0];
+        assert_eq!(tile.dram_atomic_words, 150);
+        assert_eq!(tile.dram_random_words, 100);
+        assert_eq!(tile.remote.total_entries, 32);
+        assert!(!tile.dram_atomic_addrs.is_empty());
+        assert!(tile.dram_atomic_addrs.iter().all(|&a| a < 8));
+        assert!(!tile.dram_random_addrs.is_empty());
+        assert!(!tile.remote.addr_sampled.is_empty());
+        assert!(tile.remote.addr_sampled.iter().all(|&a| a < 3));
+    }
+
+    #[test]
+    fn address_samples_stay_bounded() {
+        let mut cfg = CapstanConfig::paper_default();
+        cfg.addr_sample_limit = 64;
+        let mut wl = WorkloadBuilder::for_config("t", &cfg);
+        {
+            let mut t = wl.tile();
+            for i in 0..100_000u64 {
+                t.dram_atomic_at(i);
+            }
+            wl.commit(t);
+        }
+        let w = wl.finish();
+        let sample = &w.tiles[0].dram_atomic_addrs;
+        assert!(sample.len() <= 128, "sample grew to {}", sample.len());
+        // The sample spans the stream, not just its head.
+        assert!(*sample.last().unwrap() > 50_000);
+        assert_eq!(w.tiles[0].dram_atomic_words, 100_000);
+    }
+
+    #[test]
+    fn count_only_recordings_leave_address_samples_empty() {
+        let mut wl = WorkloadBuilder::new("t");
+        {
+            let mut t = wl.tile();
+            t.dram_atomic(100);
+            t.dram_random_read(100);
+            t.foreach_vec(16, |t, i| t.remote_update(i % 4));
+            wl.commit(t);
+        }
+        let w = wl.finish();
+        let tile = &w.tiles[0];
+        assert!(tile.dram_atomic_addrs.is_empty());
+        assert!(tile.dram_random_addrs.is_empty());
+        assert!(tile.remote.addr_sampled.is_empty());
     }
 
     #[test]

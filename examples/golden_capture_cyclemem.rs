@@ -1,11 +1,13 @@
 //! One-off capture of cycle-level memory-mode golden values (used to pin
 //! `MemTiming::CycleLevel` in `tests/determinism_golden.rs`): the banked
 //! channel's completion stream on two memory configs, and an
-//! atomic-heavy PageRank simulate under the cycle-level mode.
+//! atomic-heavy PageRank simulate under the cycle-level mode — with
+//! both synthetic and recorded scattered addressing
+//! (`CapstanConfig::mem_addresses`).
 
 use capstan::apps::App;
 use capstan::arch::spmu::driver::TraceRng;
-use capstan::core::config::{CapstanConfig, MemTiming, MemoryKind};
+use capstan::core::config::{CapstanConfig, MemAddressing, MemTiming, MemoryKind};
 use capstan::core::perf::simulate;
 use capstan::sim::dram::{BankTiming, BankedDramChannel, BurstRequest, DramModel, BURST_BYTES};
 use capstan::tensor::gen::Dataset;
@@ -82,16 +84,19 @@ fn main() {
     // the cycle-level memory mode.
     let g = Dataset::WebStanford.generate_scaled(0.02);
     let app = capstan::apps::pagerank::PrEdge::new(&g);
-    let mk = |memory| {
+    let mk = |memory, addresses| {
         let mut cfg = CapstanConfig::new(memory);
         cfg.shuffle = None;
         cfg.mem_timing = MemTiming::CycleLevel;
+        cfg.mem_addresses = addresses;
         cfg
     };
-    let wl = app.build(&mk(MemoryKind::Hbm2e));
+    let wl = app.build(&mk(MemoryKind::Hbm2e, MemAddressing::Synthetic));
     for (name, cfg) in [
-        ("hbm2e", mk(MemoryKind::Hbm2e)),
-        ("ddr4", mk(MemoryKind::Ddr4)),
+        ("hbm2e", mk(MemoryKind::Hbm2e, MemAddressing::Synthetic)),
+        ("ddr4", mk(MemoryKind::Ddr4, MemAddressing::Synthetic)),
+        ("hbm2e+rec", mk(MemoryKind::Hbm2e, MemAddressing::Recorded)),
+        ("ddr4+rec", mk(MemoryKind::Ddr4, MemAddressing::Recorded)),
     ] {
         let r = simulate(&wl, &cfg);
         let m = r.mem.expect("cycle mode surfaces stats");

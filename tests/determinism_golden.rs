@@ -571,6 +571,102 @@ fn cycle_level_atomic_pagerank_is_bit_identical_to_golden() {
     }
 }
 
+/// Golden pins for the *recorded-address* cycle-level mode
+/// (`CapstanConfig::mem_addresses = Recorded`): the same shuffle-less
+/// PR-Edge workload as the synthetic pins above, but the DRAM-atomic
+/// fallback replays the recorder's real sampled destination vertices —
+/// power-law hubs revisit open bursts, so the AGs fetch less than half
+/// the bursts and the drain is 1.7–2.2x faster than the uniform
+/// synthetic spray. Captured via `examples/golden_capture_cyclemem.rs`
+/// (the `+rec` rows).
+#[test]
+fn recorded_address_pagerank_is_bit_identical_to_golden() {
+    use capstan::core::config::{MemAddressing, MemTiming};
+
+    let g = Dataset::WebStanford.generate_scaled(0.02);
+    let app = capstan::apps::pagerank::PrEdge::new(&g);
+    let mk = |memory| {
+        let mut cfg = CapstanConfig::new(memory);
+        cfg.shuffle = None;
+        cfg.mem_timing = MemTiming::CycleLevel;
+        cfg.mem_addresses = MemAddressing::Recorded;
+        cfg
+    };
+    let wl = app.build(&mk(MemoryKind::Hbm2e));
+    struct Golden {
+        memory: MemoryKind,
+        cycles: u64,
+        dram: u64,
+        mem_cycles: u64,
+        row_conflicts: u64,
+        contention: u64,
+        ag_fetched: u64,
+        ag_written: u64,
+    }
+    let golden = [
+        Golden {
+            memory: MemoryKind::Hbm2e,
+            cycles: 13_263,
+            dram: 12_544,
+            mem_cycles: 13_263,
+            row_conflicts: 688,
+            contention: 9862,
+            ag_fetched: 17_074,
+            ag_written: 17_074,
+        },
+        Golden {
+            memory: MemoryKind::Ddr4,
+            cycles: 136_776,
+            dram: 136_057,
+            mem_cycles: 136_776,
+            row_conflicts: 688,
+            contention: 3_922_503,
+            ag_fetched: 17_074,
+            ag_written: 17_074,
+        },
+    ];
+    for g in golden {
+        let r = simulate(&wl, &mk(g.memory));
+        let b = r.breakdown;
+        assert_eq!(
+            (r.cycles, b.dram),
+            (g.cycles, g.dram),
+            "pr_edge_recorded/{:?} drifted",
+            g.memory
+        );
+        // The non-DRAM components must match the synthetic-mode pins:
+        // recorded addressing only changes where scattered words land.
+        assert_eq!(
+            [
+                b.active,
+                b.scan,
+                b.load_store,
+                b.vector_length,
+                b.imbalance,
+                b.network,
+                b.sram
+            ],
+            [102, 0, 90, 0, 221, 0, 306],
+            "pr_edge_recorded/{:?} non-DRAM components drifted",
+            g.memory
+        );
+        let m = r.mem.expect("cycle mode surfaces stats");
+        assert_eq!(m.cycles, g.mem_cycles, "{:?} mem cycles drifted", g.memory);
+        assert_eq!(
+            (m.row_conflicts, m.contention_cycles),
+            (g.row_conflicts, g.contention),
+            "{:?} channel counters drifted",
+            g.memory
+        );
+        assert_eq!(
+            (m.ag_bursts_fetched, m.ag_bursts_written),
+            (g.ag_fetched, g.ag_written),
+            "{:?} AG burst counts drifted",
+            g.memory
+        );
+    }
+}
+
 #[test]
 fn repeated_runs_are_identical() {
     // Same seed, same everything: the engine must be a pure function.

@@ -16,8 +16,15 @@
 //! channel count can only shrink the drain on bank-parallel traffic,
 //! and the atomic-monotonicity contract must hold at *every* channel
 //! count.
+//!
+//! Recorded addressing (`CapstanConfig::mem_addresses`) adds a fourth:
+//! replaying the recorder's real sampled address vectors must conserve
+//! word counts, never lose to the uniform synthetic streams on
+//! hub-skewed kernels (coalescing can only help), fall back
+//! bit-identically when a workload recorded no addresses, and stay
+//! bit-reproducible run to run.
 
-use capstan::core::config::{CapstanConfig, MemTiming, MemoryKind};
+use capstan::core::config::{CapstanConfig, MemAddressing, MemTiming, MemoryKind};
 use capstan::core::perf::simulate;
 use capstan::core::program::{Workload, WorkloadBuilder};
 use capstan::core::report::PerfReport;
@@ -277,6 +284,105 @@ fn atomic_monotonicity_holds_at_every_channel_count() {
             last = Some(r.cycles);
         }
     }
+}
+
+/// Builds a workload whose atomic addresses are *recorded*:
+/// `hub_permille`/1000 of the updates hit a 64-word hot set, the rest
+/// stride over a wide region (deterministic, no RNG needed).
+fn recorded_atomic_workload(tiles: usize, atomic_words: u64, hub_permille: u64) -> Workload {
+    let mut wl = WorkloadBuilder::new("recorded-grid");
+    for tile in 0..tiles as u64 {
+        let mut t = wl.tile();
+        t.foreach_vec(256, |_, _| {});
+        t.dram_stream_read(1 << 14);
+        for i in 0..atomic_words {
+            let addr = if (i * 997 + tile) % 1000 < hub_permille {
+                (i * 31 + tile) % 64 // the hot set
+            } else {
+                ((i * 7919) ^ (tile << 17)) % (1 << 22)
+            };
+            t.dram_atomic_at(addr);
+        }
+        wl.commit(t);
+    }
+    wl.finish()
+}
+
+fn with_addressing(memory: MemoryKind, addresses: MemAddressing) -> CapstanConfig {
+    let mut cfg = CapstanConfig::new(memory);
+    cfg.mem_timing = MemTiming::CycleLevel;
+    cfg.mem_addresses = addresses;
+    cfg
+}
+
+#[test]
+fn recorded_addressing_never_loses_to_synthetic_on_skewed_kernels() {
+    // Hub-heavy recorded streams coalesce in the AGs' open-burst caches;
+    // the uniform synthetic spray cannot, so the recorded drain must be
+    // no slower — and strictly faster at heavy skew.
+    for memory in [MemoryKind::Ddr4, MemoryKind::Hbm2e] {
+        let w = recorded_atomic_workload(4, 4096, 875);
+        let s = simulate(&w, &with_addressing(memory, MemAddressing::Synthetic));
+        let r = simulate(&w, &with_addressing(memory, MemAddressing::Recorded));
+        assert!(
+            r.cycles <= s.cycles,
+            "{memory:?}: recorded {} exceeded synthetic {}",
+            r.cycles,
+            s.cycles
+        );
+        let (sm, rm) = (s.mem.expect("stats"), r.mem.expect("stats"));
+        assert_eq!(sm.atomic_words, rm.atomic_words, "word counts conserved");
+        assert!(
+            rm.ag_bursts_fetched < sm.ag_bursts_fetched,
+            "{memory:?}: hub replay must coalesce ({} vs {} fetches)",
+            rm.ag_bursts_fetched,
+            sm.ag_bursts_fetched
+        );
+    }
+}
+
+#[test]
+fn recorded_addressing_without_recordings_matches_synthetic_exactly() {
+    // Count-only workloads record no addresses, so the recorded mode
+    // must fall back to the synthetic streams bit-for-bit — the
+    // contract that keeps every committed golden pin valid.
+    let w = dram_workload(8, 1 << 18, 2048, 4096);
+    for memory in [MemoryKind::Ddr4, MemoryKind::Hbm2e] {
+        let s = simulate(&w, &with_addressing(memory, MemAddressing::Synthetic));
+        let r = simulate(&w, &with_addressing(memory, MemAddressing::Recorded));
+        assert_eq!(s, r, "{memory:?}: fallback diverged from synthetic");
+    }
+}
+
+#[test]
+fn recorded_addressing_agrees_with_synthetic_on_ideal_memory() {
+    // Ideal memory skips the cycle-level driver entirely; the
+    // addressing mode must not matter.
+    let w = recorded_atomic_workload(4, 2048, 875);
+    let s = simulate(
+        &w,
+        &with_addressing(MemoryKind::Ideal, MemAddressing::Synthetic),
+    );
+    let r = simulate(
+        &w,
+        &with_addressing(MemoryKind::Ideal, MemAddressing::Recorded),
+    );
+    assert_eq!(s.cycles, r.cycles);
+    assert!(s.mem.is_none() && r.mem.is_none());
+}
+
+#[test]
+fn recorded_replay_is_bit_reproducible() {
+    // Two recorded-mode simulations of the same workload must agree
+    // bit-for-bit — the golden pins and the CI `CAPSTAN_THREADS`
+    // byte-diff build on this (the cross-thread half lives in
+    // `crates/bench/tests/sampling_determinism.rs`, which needs
+    // `capstan_par`).
+    let w = recorded_atomic_workload(8, 2048, 500);
+    let cfg = with_addressing(MemoryKind::Hbm2e, MemAddressing::Recorded);
+    let a = simulate(&w, &cfg);
+    let b = simulate(&w, &cfg);
+    assert_eq!(a, b);
 }
 
 #[test]
