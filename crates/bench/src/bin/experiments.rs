@@ -5,6 +5,7 @@
 //! experiments [NAMES...] [--scale small|medium|large] [--mem analytic|cycle]
 //!             [--mem-addresses synthetic|recorded] [--mem-channels N]
 //!             [--bench-out PATH] [--bench-base PATH] [--no-bench-out]
+//!             [--resume DIR]
 //! ```
 //!
 //! `NAMES` are `table4..table13`, `table13-atomics`, `table13-channels`,
@@ -56,6 +57,17 @@
 //! experiments table13-recorded fig7 --mem cycle --mem-addresses recorded \
 //!     --scale small --bench-base BENCH_core.json --bench-out BENCH_core.json
 //! ```
+//!
+//! `--resume DIR` makes the run crash-safe and resumable: every
+//! completed experiment is journaled in `DIR` (report text plus exact
+//! wall/cycle numbers, all written atomically — see
+//! `capstan_bench::journal`), and a re-run with the same `--resume DIR`
+//! replays the journaled experiments byte-for-byte from the journal
+//! instead of re-running them, then continues with the rest. The
+//! resumed invocation's stdout and its `--bench-out` record are
+//! byte-identical to an uninterrupted run's (the kill-and-resume CI job
+//! enforces this). A journal written under different `--scale` /
+//! suffix flags is rejected loudly.
 
 use capstan_bench::experiments as exp;
 use capstan_bench::gate;
@@ -69,7 +81,7 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: experiments [NAMES...] [--scale small|medium|large] \
 [--mem analytic|cycle] [--mem-addresses synthetic|recorded] [--mem-channels N] \
-[--bench-out PATH] [--bench-base PATH] [--no-bench-out]";
+[--bench-out PATH] [--bench-base PATH] [--no-bench-out] [--resume DIR]";
 
 /// Parsed command line (process-default setters are applied by `main`,
 /// not here, so parsing stays a pure, unit-testable function).
@@ -88,6 +100,8 @@ struct Cli {
     bench_out: Option<String>,
     bench_base: Option<String>,
     no_bench_out: bool,
+    /// `--resume` journal directory (crash-safe resumable runs).
+    resume: Option<String>,
 }
 
 /// Parses the argument list. Unknown `--flags`, flags missing their
@@ -144,6 +158,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--bench-out" => cli.bench_out = Some(value("--bench-out", &mut it)?),
             "--bench-base" => cli.bench_base = Some(value("--bench-base", &mut it)?),
             "--no-bench-out" => cli.no_bench_out = true,
+            "--resume" => cli.resume = Some(value("--resume", &mut it)?),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`"));
             }
@@ -182,14 +197,12 @@ struct BenchRecord {
     cycles_per_second: Option<f64>,
 }
 
-fn run_one(name: &str, suite: &Suite) -> bool {
-    match exp::run_by_name(name, suite) {
-        Some(_report) => true, // the experiment already printed itself
-        None => {
-            eprintln!("unknown experiment `{name}`");
-            false
-        }
-    }
+/// Exits 2 with a message — the shared fate of every harness-level
+/// (non-experiment) failure: bad flags, a corrupt `--bench-base`, an
+/// unusable `--resume` journal.
+fn die(msg: &str) -> ! {
+    eprintln!("experiments: {msg}");
+    std::process::exit(2);
 }
 
 fn bench_json(scale: &str, records: &[BenchRecord]) -> String {
@@ -295,36 +308,89 @@ fn main() {
     // duplicate names so no two bench rows can share a name.
     let expanded = expand_and_dedup(&which);
 
+    // Open the resume journal (if any) up front, before any experiment
+    // runs: a corrupt or mismatched journal must fail the invocation
+    // loudly, not after minutes of re-simulation.
+    let suffix = format!("{mem_suffix}{rec_suffix}{chan_suffix}");
+    let mut journal = cli.resume.as_deref().map(|dir| {
+        match capstan_bench::journal::Journal::open_or_create(
+            std::path::Path::new(dir),
+            &scale_name,
+            &suffix,
+        ) {
+            Ok(j) => j,
+            Err(e) => die(&e),
+        }
+    });
+
     let mut records = Vec::new();
     let mut failed = false;
     for name in &expanded {
-        let cycles_before = capstan_sim::stats::simulated_cycles();
-        let start = Instant::now();
-        if run_one(name, &suite) {
+        // A journaled experiment replays from the journal: its stored
+        // report goes to stdout verbatim and its stored wall/cycle
+        // numbers (exact f64 bits) become the bench row, so a resumed
+        // sweep's output byte-diffs clean against an uninterrupted one.
+        if let Some(entry) = journal.as_ref().and_then(|j| j.completed(name)) {
+            let report = match journal.as_ref().expect("journal present").report_text(name) {
+                Ok(text) => text,
+                Err(e) => die(&e),
+            };
+            print!("{report}");
             records.push(BenchRecord {
-                name: format!("{name}{mem_suffix}{rec_suffix}{chan_suffix}"),
-                wall_seconds: start.elapsed().as_secs_f64(),
-                simulated_cycles: capstan_sim::stats::simulated_cycles() - cycles_before,
+                name: format!("{name}{suffix}"),
+                wall_seconds: entry.wall_seconds,
+                simulated_cycles: entry.simulated_cycles,
                 cycles_per_second: None,
             });
-        } else {
-            failed = true;
+            continue;
+        }
+        let cycles_before = capstan_sim::stats::simulated_cycles();
+        let start = Instant::now();
+        match exp::run_by_name(name, &suite) {
+            Some(report) => {
+                let wall_seconds = start.elapsed().as_secs_f64();
+                let simulated_cycles = capstan_sim::stats::simulated_cycles() - cycles_before;
+                if let Some(j) = journal.as_mut() {
+                    let entry = capstan_bench::journal::JournalEntry {
+                        wall_seconds,
+                        simulated_cycles,
+                    };
+                    if let Err(e) = j.record(name, entry, &report) {
+                        die(&e);
+                    }
+                }
+                records.push(BenchRecord {
+                    name: format!("{name}{suffix}"),
+                    wall_seconds,
+                    simulated_cycles,
+                    cycles_per_second: None,
+                });
+            }
+            None => {
+                eprintln!("unknown experiment `{name}`");
+                failed = true;
+            }
         }
     }
 
     // Seed the record with an existing baseline's rows (same-name rows
     // replaced by this run), so one file can carry several record
     // groups — e.g. the analytic full suite plus the `+cycle` smoke.
+    // A missing, truncated, or otherwise corrupt baseline is a loud
+    // harness error (exit 2): silently merging against garbage would
+    // quietly discard committed baseline groups.
     if let Some(base_path) = cli.bench_base {
         let text = std::fs::read_to_string(&base_path)
-            .unwrap_or_else(|e| panic!("could not read --bench-base {base_path}: {e}"));
+            .unwrap_or_else(|e| die(&format!("could not read --bench-base {base_path}: {e}")));
         let base = gate::parse_record(&text)
-            .unwrap_or_else(|e| panic!("malformed --bench-base {base_path}: {e}"));
-        assert_eq!(
-            base.scale, scale_name,
-            "--bench-base scale `{}` differs from this run's `{}`; rows would not be comparable",
-            base.scale, scale_name
-        );
+            .unwrap_or_else(|e| die(&format!("malformed --bench-base {base_path}: {e}")));
+        if base.scale != scale_name {
+            die(&format!(
+                "--bench-base scale `{}` differs from this run's `{scale_name}`; \
+                 rows would not be comparable",
+                base.scale
+            ));
+        }
         let mut merged: Vec<BenchRecord> = base
             .experiments
             .into_iter()
@@ -342,7 +408,9 @@ fn main() {
 
     if let Some(path) = bench_out {
         let json = bench_json(&scale_name, &records);
-        match std::fs::write(&path, &json) {
+        // Atomic write (temp file + rename): a crash mid-write must
+        // never leave a truncated baseline for the gate to choke on.
+        match capstan_sim::snapshot::atomic_write(std::path::Path::new(&path), json.as_bytes()) {
             Ok(()) => eprintln!("wrote {path} ({} experiments)", records.len()),
             Err(e) => {
                 eprintln!("error: could not write {path}: {e}");
@@ -397,6 +465,14 @@ mod tests {
     }
 
     #[test]
+    fn resume_flag_parses_and_needs_a_value() {
+        let cli = parse_args(&args(&["fig7", "--resume", "jdir"])).unwrap();
+        assert_eq!(cli.resume.as_deref(), Some("jdir"));
+        let err = parse_args(&args(&["--resume", "--no-bench-out"])).unwrap_err();
+        assert!(err.contains("--resume needs a value"), "{err}");
+    }
+
+    #[test]
     fn missing_flag_values_are_errors_not_panics() {
         for flag in [
             "--scale",
@@ -405,6 +481,7 @@ mod tests {
             "--mem-channels",
             "--bench-out",
             "--bench-base",
+            "--resume",
         ] {
             let err = parse_args(&args(&[flag])).unwrap_err();
             assert!(err.contains("needs a value"), "{flag}: {err}");

@@ -160,6 +160,15 @@ fn number_field(text: &str, key: &str) -> Result<f64, GateError> {
 }
 
 /// Parses the fixed `capstan-bench-core/v1` record format.
+///
+/// Rows are parsed line by line, so the parse also verifies the
+/// record's *integrity*: the trailing `total_simulated_cycles` field —
+/// which the writer emits after every row, as the sum of the rows —
+/// must be present and must equal the sum of the parsed rows. A file
+/// truncated mid-write (killed process, full disk) loses the trailer
+/// or some rows and fails loudly here; before this check a partial
+/// file with a few surviving rows parsed "successfully" and silently
+/// gated against an incomplete baseline.
 pub fn parse_record(text: &str) -> Result<BenchRecord, GateError> {
     let schema = string_field(text, "schema")?;
     let scale = string_field(text, "scale")?;
@@ -178,6 +187,19 @@ pub fn parse_record(text: &str) -> Result<BenchRecord, GateError> {
     }
     if experiments.is_empty() {
         return Err(GateError::Malformed("no experiment rows".to_string()));
+    }
+    let declared = number_field(text, "total_simulated_cycles").map_err(|_| {
+        GateError::Malformed(
+            "missing `total_simulated_cycles` trailer — the record is truncated".to_string(),
+        )
+    })? as u64;
+    let summed: u64 = experiments.iter().map(|e| e.simulated_cycles).sum();
+    if declared != summed {
+        return Err(GateError::Malformed(format!(
+            "total_simulated_cycles is {declared} but the {} rows sum to {summed} — \
+             the record is truncated or corrupt",
+            experiments.len()
+        )));
     }
     Ok(BenchRecord {
         schema,
@@ -317,6 +339,45 @@ mod tests {
             parse_record("{\"schema\": \"capstan-bench-core/v1\", \"scale\": \"small\"}"),
             Err(GateError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn truncated_records_are_rejected_not_silently_partial() {
+        let full = r#"{
+  "schema": "capstan-bench-core/v1",
+  "scale": "small",
+  "threads": 4,
+  "experiments": [
+    {"name": "table4", "wall_seconds": 0.3, "simulated_cycles": 90000, "cycles_per_second": 288500.9},
+    {"name": "fig4", "wall_seconds": 0.03, "simulated_cycles": 22688, "cycles_per_second": 700170.0}
+  ],
+  "total_wall_seconds": 0.33,
+  "total_simulated_cycles": 112688
+}
+"#;
+        assert!(parse_record(full).is_ok());
+        // Killed mid-write: the trailer never made it to disk. The rows
+        // that did survive must NOT parse as a valid (smaller) baseline.
+        let cut = full.find("  \"total_wall_seconds\"").unwrap();
+        let err = parse_record(&full[..cut]).unwrap_err();
+        assert!(
+            matches!(&err, GateError::Malformed(m) if m.contains("truncated")),
+            "{err}"
+        );
+        // Truncated earlier, losing a row but (hypothetically) keeping a
+        // stale trailer: the sum check catches it.
+        let one_row_gone = full.replace(
+            "    {\"name\": \"fig4\", \"wall_seconds\": 0.03, \"simulated_cycles\": 22688, \"cycles_per_second\": 700170.0}\n",
+            "",
+        );
+        let err = parse_record(&one_row_gone).unwrap_err();
+        assert!(
+            matches!(&err, GateError::Malformed(m) if m.contains("sum")),
+            "{err}"
+        );
+        // And a plainly corrupt (non-numeric) trailer is malformed too.
+        let bad_trailer = full.replace("112688", "bogus");
+        assert!(parse_record(&bad_trailer).is_err());
     }
 
     #[test]

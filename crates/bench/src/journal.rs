@@ -1,0 +1,298 @@
+//! Crash-safe experiment journal: the persistence behind
+//! `experiments --resume <dir>`.
+//!
+//! A journal directory records every *completed* experiment of one
+//! harness invocation so an interrupted sweep can resume without
+//! re-running finished rows — and without changing a single output
+//! byte. Layout:
+//!
+//! * `journal` — the manifest. Line 1 is the header
+//!   `capstan-journal/v1\t<scale>\t<suffix>` pinning the run
+//!   configuration (a resume under a different scale or record suffix
+//!   is a loud error, never a silent mixed-config sweep). Each further
+//!   line is one completed experiment:
+//!   `<name>\t<wall-seconds f64 bits, hex>\t<simulated-cycles>`.
+//!   Wall time travels as exact `f64` bits so a replayed
+//!   `BENCH_*.json` row is byte-identical to the original.
+//! * `<name>.report` — the experiment's exact report text, replayed to
+//!   stdout verbatim on resume so a resumed sweep's output byte-diffs
+//!   clean against an uninterrupted one.
+//!
+//! Every write is atomic (temp file + rename, via
+//! [`capstan_sim::snapshot::atomic_write`]) and the manifest is
+//! rewritten whole after each experiment, so a crash at any instant
+//! leaves either the previous consistent journal or the new one —
+//! never a torn manifest. A manifest entry whose report file is
+//! missing, a malformed line, or a header mismatch all fail loudly:
+//! resuming from a corrupt journal must never silently drop or
+//! duplicate work.
+
+use capstan_sim::snapshot::atomic_write;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Manifest header tag; bump on any layout change.
+const HEADER_TAG: &str = "capstan-journal/v1";
+
+/// One completed experiment, as recorded in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JournalEntry {
+    /// Wall-clock seconds of the original run (exact bits).
+    pub wall_seconds: f64,
+    /// Simulated cycles attributed to the experiment.
+    pub simulated_cycles: u64,
+}
+
+/// An open journal directory. See the module docs for the layout and
+/// crash-safety contract.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    scale: String,
+    suffix: String,
+    entries: BTreeMap<String, JournalEntry>,
+}
+
+impl Journal {
+    /// Opens the journal in `dir`, creating the directory and an empty
+    /// manifest if none exists. An existing manifest must carry the
+    /// same `scale` and record `suffix` (the run configuration); any
+    /// mismatch, malformed line, or entry missing its report file is an
+    /// error — resuming must never silently mix configurations or drop
+    /// completed work.
+    pub fn open_or_create(dir: &Path, scale: &str, suffix: &str) -> Result<Journal, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create journal dir {}: {e}", dir.display()))?;
+        let manifest = dir.join("journal");
+        let mut journal = Journal {
+            dir: dir.to_path_buf(),
+            scale: scale.to_string(),
+            suffix: suffix.to_string(),
+            entries: BTreeMap::new(),
+        };
+        let text = match std::fs::read_to_string(&manifest) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                journal.write_manifest()?;
+                return Ok(journal);
+            }
+            Err(e) => return Err(format!("cannot read {}: {e}", manifest.display())),
+        };
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| format!("{}: empty manifest", manifest.display()))?;
+        let mut fields = header.split('\t');
+        let tag = fields.next().unwrap_or("");
+        let got_scale = fields.next().unwrap_or("");
+        let got_suffix = fields.next().unwrap_or("");
+        if tag != HEADER_TAG {
+            return Err(format!(
+                "{}: not a {HEADER_TAG} manifest (found {tag:?})",
+                manifest.display()
+            ));
+        }
+        if got_scale != scale || got_suffix != suffix {
+            return Err(format!(
+                "{}: journal was written for --scale {got_scale} suffix {got_suffix:?}, \
+                 this run is --scale {scale} suffix {suffix:?}; resume with matching flags \
+                 or use a fresh journal directory",
+                manifest.display()
+            ));
+        }
+        for (i, line) in lines.enumerate() {
+            let (name, entry) = parse_entry(line)
+                .ok_or_else(|| format!("{}: malformed line {}", manifest.display(), i + 2))?;
+            if !journal.report_path(name).is_file() {
+                return Err(format!(
+                    "{}: entry {name:?} has no report file; the journal is corrupt",
+                    manifest.display()
+                ));
+            }
+            journal.entries.insert(name.to_string(), entry);
+        }
+        Ok(journal)
+    }
+
+    /// The journal entry for `name`, if that experiment already
+    /// completed in a previous (interrupted) invocation.
+    pub fn completed(&self, name: &str) -> Option<JournalEntry> {
+        self.entries.get(name).copied()
+    }
+
+    /// Completed experiment names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// The stored report text of a completed experiment.
+    pub fn report_text(&self, name: &str) -> Result<String, String> {
+        let path = self.report_path(name);
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    }
+
+    /// Records a newly completed experiment: writes its report file,
+    /// then the updated manifest, both atomically and in that order —
+    /// so a crash between the two leaves an orphaned report file (it is
+    /// simply overwritten on the re-run), never a manifest entry
+    /// without its report.
+    pub fn record(&mut self, name: &str, entry: JournalEntry, report: &str) -> Result<(), String> {
+        let path = self.report_path(name);
+        atomic_write(&path, report.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        self.entries.insert(name.to_string(), entry);
+        self.write_manifest()
+    }
+
+    fn report_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.report"))
+    }
+
+    fn write_manifest(&self) -> Result<(), String> {
+        let mut out = format!("{HEADER_TAG}\t{}\t{}\n", self.scale, self.suffix);
+        for (name, e) in &self.entries {
+            out.push_str(&format!(
+                "{name}\t{:016x}\t{}\n",
+                e.wall_seconds.to_bits(),
+                e.simulated_cycles
+            ));
+        }
+        let path = self.dir.join("journal");
+        atomic_write(&path, out.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+/// Parses one manifest entry line; `None` on any malformation.
+fn parse_entry(line: &str) -> Option<(&str, JournalEntry)> {
+    let mut fields = line.split('\t');
+    let name = fields.next()?;
+    let wall_hex = fields.next()?;
+    let cycles = fields.next()?;
+    if name.is_empty() || fields.next().is_some() {
+        return None;
+    }
+    // Experiment names become file names; forbid anything that could
+    // escape the journal directory.
+    if name.contains(['/', '\\', '\0']) || name == "." || name == ".." {
+        return None;
+    }
+    Some((
+        name,
+        JournalEntry {
+            wall_seconds: f64::from_bits(u64::from_str_radix(wall_hex, 16).ok()?),
+            simulated_cycles: cycles.parse().ok()?,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("capstan-journal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_entries_and_reports() {
+        let dir = tmpdir("roundtrip");
+        let mut j = Journal::open_or_create(&dir, "small", "+cycle").expect("create");
+        j.record(
+            "table12",
+            JournalEntry {
+                wall_seconds: 1.25,
+                simulated_cycles: 42,
+            },
+            "Table 12 report\n",
+        )
+        .expect("record");
+        drop(j);
+        let j = Journal::open_or_create(&dir, "small", "+cycle").expect("reopen");
+        let e = j.completed("table12").expect("entry survives");
+        assert_eq!(e.wall_seconds, 1.25);
+        assert_eq!(e.simulated_cycles, 42);
+        assert_eq!(j.report_text("table12").unwrap(), "Table 12 report\n");
+        assert_eq!(j.completed("table13"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wall_seconds_survive_bit_exactly() {
+        let dir = tmpdir("bits");
+        let exact = 0.1f64 + 0.2f64; // not representable prettily
+        let mut j = Journal::open_or_create(&dir, "small", "").expect("create");
+        j.record(
+            "fig4",
+            JournalEntry {
+                wall_seconds: exact,
+                simulated_cycles: 7,
+            },
+            "r",
+        )
+        .expect("record");
+        let j = Journal::open_or_create(&dir, "small", "").expect("reopen");
+        assert_eq!(
+            j.completed("fig4").unwrap().wall_seconds.to_bits(),
+            exact.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_a_configuration_mismatch() {
+        let dir = tmpdir("mismatch");
+        Journal::open_or_create(&dir, "small", "+cycle").expect("create");
+        let err = Journal::open_or_create(&dir, "full", "+cycle").unwrap_err();
+        assert!(err.contains("--scale"), "unhelpful error: {err}");
+        let err = Journal::open_or_create(&dir, "small", "+cycle+ch4").unwrap_err();
+        assert!(err.contains("suffix"), "unhelpful error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_a_torn_manifest_and_a_missing_report() {
+        let dir = tmpdir("torn");
+        let mut j = Journal::open_or_create(&dir, "small", "").expect("create");
+        j.record(
+            "table4",
+            JournalEntry {
+                wall_seconds: 0.5,
+                simulated_cycles: 3,
+            },
+            "t4",
+        )
+        .expect("record");
+        // Garbage line appended to the manifest.
+        let manifest = dir.join("journal");
+        let mut text = std::fs::read_to_string(&manifest).unwrap();
+        text.push_str("table5\tnot-hex\n");
+        std::fs::write(&manifest, &text).unwrap();
+        let err = Journal::open_or_create(&dir, "small", "").unwrap_err();
+        assert!(err.contains("malformed"), "unhelpful error: {err}");
+        // Entry whose report file vanished.
+        let fixed = text.replace("table5\tnot-hex\n", "");
+        std::fs::write(&manifest, fixed).unwrap();
+        std::fs::remove_file(dir.join("table4.report")).unwrap();
+        let err = Journal::open_or_create(&dir, "small", "").unwrap_err();
+        assert!(err.contains("no report file"), "unhelpful error: {err}");
+        // A non-journal file is rejected up front.
+        std::fs::write(&manifest, "something else entirely\n").unwrap();
+        let err = Journal::open_or_create(&dir, "small", "").unwrap_err();
+        assert!(err.contains(HEADER_TAG), "unhelpful error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_parser_rejects_path_escapes() {
+        assert!(parse_entry("../evil\t3ff0000000000000\t1").is_none());
+        assert!(parse_entry("a/b\t3ff0000000000000\t1").is_none());
+        assert!(parse_entry("ok\t3ff0000000000000\t1\textra").is_none());
+        assert!(parse_entry("ok\t3ff0000000000000").is_none());
+        assert!(parse_entry("").is_none());
+        assert!(parse_entry("ok\t3ff0000000000000\t1").is_some());
+    }
+}

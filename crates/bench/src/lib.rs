@@ -15,13 +15,15 @@
 //! ```
 //!
 //! The full CLI (`--scale`, `--mem`, `--mem-channels`, `--bench-out`,
-//! `--bench-base`), the `BENCH_core.json` record format, and the
-//! baseline-regeneration recipe are documented in this crate's
+//! `--bench-base`, `--resume`), the `BENCH_core.json` record format,
+//! and the baseline-regeneration recipe are documented in this crate's
 //! `README.md`; the [`gate`] module is the CI perf gate that enforces
-//! the committed baseline.
+//! the committed baseline, and the [`journal`] module is the crash-safe
+//! completed-experiment journal behind `--resume`.
 
 pub mod experiments;
 pub mod gate;
+pub mod journal;
 pub mod suite;
 
 pub use suite::{AppId, Suite};

@@ -86,7 +86,7 @@ use capstan_arch::spmu::driver::run_vectors;
 use capstan_arch::spmu::{AccessVector, LaneRequest};
 use capstan_sim::dram::{AccessPattern, DramModel, MemoryKind, BURST_BYTES};
 use capstan_sim::network::NetworkModel;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Process-wide pool of persistent cycle-level memory drivers, keyed by
 /// `(DramModel, MemSysConfig)`. See the module docs ("The persistent
@@ -125,6 +125,87 @@ fn with_memsys<R>(model: DramModel, mcfg: MemSysConfig, f: impl FnOnce(&mut MemS
         pool.push((model, mcfg, sim));
     }
     result
+}
+
+/// Crash-safety hooks for the cycle-level drain, read once from the
+/// environment:
+///
+/// * `CAPSTAN_CHECKPOINT_DIR` — when set, the drain loop periodically
+///   writes the driver's sealed snapshot to `<dir>/memsys.ckpt`
+///   (atomic temp-file + rename, last write wins). A diagnostic /
+///   smoke-test artifact: it proves mid-run savestates are taken on a
+///   live workload and restorable offline.
+/// * `CAPSTAN_CHECKPOINT_EVERY_CYCLES` — checkpoint cadence in
+///   simulated cycles (default `1 << 20`).
+/// * `CAPSTAN_FAULT_AFTER_CYCLES` — fault injection: once the
+///   process-wide simulated-cycle total (plus the in-progress batch)
+///   reaches this, the process prints a diagnostic and exits with code
+///   43, simulating a mid-experiment crash for the kill-and-resume CI
+///   job. With worker threads the crossing is detected at chunk
+///   granularity, so the exact exit point is approximate — the resume
+///   contract never depends on *where* a run died, only that the
+///   journal already holds every completed row.
+#[derive(Debug, Default)]
+struct MemHooks {
+    checkpoint_dir: Option<std::path::PathBuf>,
+    checkpoint_every: u64,
+    fault_after: Option<u64>,
+}
+
+impl MemHooks {
+    fn get() -> &'static MemHooks {
+        static HOOKS: OnceLock<MemHooks> = OnceLock::new();
+        HOOKS.get_or_init(|| {
+            let parse = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
+            MemHooks {
+                checkpoint_dir: std::env::var_os("CAPSTAN_CHECKPOINT_DIR")
+                    .map(std::path::PathBuf::from),
+                checkpoint_every: parse("CAPSTAN_CHECKPOINT_EVERY_CYCLES").unwrap_or(1 << 20),
+                fault_after: parse("CAPSTAN_FAULT_AFTER_CYCLES"),
+            }
+        })
+    }
+
+    fn active(&self) -> bool {
+        self.checkpoint_dir.is_some() || self.fault_after.is_some()
+    }
+}
+
+/// Drains `msim` to completion. Without hooks this is exactly
+/// [`MemSysSim::run`]; with hooks the same drain runs in bounded
+/// [`MemSysSim::step`] chunks (bit-identical by the step contract) so
+/// checkpoints and the injected fault land mid-run.
+fn drive_memsys(msim: &mut MemSysSim) -> MemStats {
+    let hooks = MemHooks::get();
+    if !hooks.active() {
+        return msim.run();
+    }
+    let chunk = hooks.checkpoint_every.max(1);
+    let base = capstan_sim::stats::simulated_cycles();
+    while !msim.step(chunk) {
+        if let Some(limit) = hooks.fault_after {
+            if base + msim.cycle() >= limit {
+                if let Some(dir) = &hooks.checkpoint_dir {
+                    let _ = std::fs::create_dir_all(dir);
+                    let _ = capstan_sim::snapshot::atomic_write(
+                        &dir.join("memsys.ckpt"),
+                        &msim.save_state(),
+                    );
+                }
+                eprintln!(
+                    "capstan: injected fault after {} simulated cycles (CAPSTAN_FAULT_AFTER_CYCLES)",
+                    base + msim.cycle()
+                );
+                std::process::exit(43);
+            }
+        }
+        if let Some(dir) = &hooks.checkpoint_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let _ =
+                capstan_sim::snapshot::atomic_write(&dir.join("memsys.ckpt"), &msim.save_state());
+        }
+    }
+    msim.finish_run()
 }
 
 /// Synthetic (ideal-memory) cycle analysis of one tile.
@@ -431,7 +512,7 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
                         }
                         msim.add_tile(traffic);
                     }
-                    msim.run()
+                    drive_memsys(msim)
                 });
                 mem_stats = Some(stats);
                 stats.cycles

@@ -19,12 +19,17 @@
 //!   region-bit crossbar, the topology of the cycle-level memory mode.
 //! * [`network`] — the hybrid static/dynamic on-chip network model
 //!   (512-bit vector links, per-hop latency, §4.1).
+//! * [`snapshot`] — versioned, checksummed binary savestates: the
+//!   writer/reader codec, the snapshot envelope, and the atomic
+//!   temp-file + rename used for every crash-safe file the harness
+//!   writes.
 //!
 //! Everything is deterministic; no wall-clock time is consulted anywhere.
 
 pub mod dram;
 pub mod network;
 pub mod queue;
+pub mod snapshot;
 pub mod stats;
 
 /// Capstan's core clock in GHz (paper §4.2: synthesized at 1.6 GHz).
