@@ -27,6 +27,7 @@
 //! their simulated time in exactly this loop.
 
 use crate::spmu::RmwOp;
+use capstan_sim::channel::MemChannel;
 use capstan_sim::dram::{BurstRequest, DramChannel, DramModel};
 use capstan_sim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::VecDeque;
@@ -339,6 +340,47 @@ impl AddressGenerator {
     /// Whether all work has drained.
     pub fn is_idle(&self) -> bool {
         self.transitioning == 0 && self.waiting_total == 0 && self.channel.is_idle()
+    }
+
+    /// Earliest future cycle at which [`tick`] could make progress —
+    /// re-issue a parked fetch (always the very next tick), absorb a
+    /// channel completion, or release a due result — assuming no new
+    /// submissions in between; `None` when nothing is pending. Follows
+    /// the channel next-event contract (`capstan_sim::channel`): every
+    /// tick strictly before the reported cycle is inert.
+    ///
+    /// [`tick`]: AddressGenerator::tick
+    pub fn next_event(&self) -> Option<u64> {
+        if !self.retry.is_empty() {
+            return Some(self.channel.cycle() + 1);
+        }
+        let now = self.channel.cycle();
+        let channel = self.channel.next_event();
+        let result = self.results.iter().map(|r| r.cycle.max(now + 1)).min();
+        match (channel, result) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Replays `ticks` inert cycles at once, bit-identically to that
+    /// many [`tick`] calls: only the channel's clock and credit move —
+    /// the AG itself has no per-tick state on an inert cycle. The
+    /// caller must keep the jump strictly below the
+    /// [`next_event`](AddressGenerator::next_event) horizon
+    /// (debug-asserted).
+    ///
+    /// [`tick`]: AddressGenerator::tick
+    pub fn fast_forward(&mut self, ticks: u64) {
+        debug_assert!(
+            match self.next_event() {
+                Some(e) => self.channel.cycle() + ticks < e,
+                None => true,
+            },
+            "fast-forward across an AG event"
+        );
+        self.channel.fast_forward(ticks);
+        self.done.clear();
     }
 
     /// Returns the AG to its as-constructed state — zeroed memory, empty
@@ -745,14 +787,26 @@ impl AddressGenerator {
     /// the AG's cycle loop performs no per-tick allocation (mirroring
     /// [`DramChannel::tick`]).
     pub fn tick(&mut self) -> &[DramAccessResult] {
-        // Re-issue fetches that were dropped due to backpressure.
+        // Re-issue fetches that were dropped due to backpressure. The
+        // channel frees queue space only in its own tick (below), so
+        // once one re-issue hits a full queue every later one this tick
+        // must too: the pass stops at the first full-queue hit and
+        // re-parks the unexamined tail in order — exactly the list the
+        // full scan would rebuild, at O(progress) instead of O(parked)
+        // per tick.
         if !self.retry.is_empty() {
             let mut retry = std::mem::take(&mut self.retry_scratch);
             retry.clear();
             std::mem::swap(&mut retry, &mut self.retry);
-            for idx in &retry {
-                if matches!(self.slots[*idx as usize].state, BurstState::NeedsFetch) {
-                    self.start_fetch(*idx);
+            let mut entries = retry.iter();
+            while let Some(&idx) = entries.next() {
+                if !self.channel.can_accept(0) {
+                    self.retry.push(idx);
+                    self.retry.extend(entries.copied());
+                    break;
+                }
+                if matches!(self.slots[idx as usize].state, BurstState::NeedsFetch) {
+                    self.start_fetch(idx);
                 }
             }
             self.retry_scratch = retry;

@@ -78,10 +78,12 @@
 
 use crate::ag::{AddressGenerator, DramAccess, BURST_WORDS};
 use crate::spmu::RmwOp;
+use capstan_sim::channel::MemChannel;
 use capstan_sim::dram::{
     BankTiming, BankedStats, BurstRequest, ChannelArray, DramModel, BURST_BYTES,
 };
 use capstan_sim::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
+use std::sync::OnceLock;
 
 /// One tile's DRAM traffic, as recorded by the workload builder.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -154,6 +156,15 @@ pub struct MemSysConfig {
     /// this, which bounds each AG's internal state (see the allocation
     /// contract).
     pub max_outstanding_atomics: u64,
+    /// Whether [`MemSysSim::step`] may jump over provably inert
+    /// stretches of the tick loop (event-driven fast-forward) instead
+    /// of burning one tick per cycle. Bit-identical to the per-cycle
+    /// reference in simulated cycles, statistics, and snapshots — only
+    /// wall-clock time changes — so the default is on. The
+    /// `CAPSTAN_MEM_FASTFORWARD` environment variable (read once per
+    /// process) overrides this field in either direction; `=0` is the
+    /// escape hatch back to the per-cycle reference loop.
+    pub fast_forward: bool,
 }
 
 impl MemSysConfig {
@@ -168,6 +179,7 @@ impl MemSysConfig {
             ag_open_bursts: 64,
             issue_width: 16,
             max_outstanding_atomics: 256,
+            fast_forward: true,
         }
     }
 
@@ -301,6 +313,29 @@ pub struct MemSysSim {
     /// the watchdog across call boundaries. Not serialized — restore
     /// re-anchors it at the restored cycle.
     watch: (u64, (u64, u64, u64)),
+    /// Effective fast-forward switch: [`MemSysConfig::fast_forward`]
+    /// with the `CAPSTAN_MEM_FASTFORWARD` environment override applied
+    /// at construction. Not part of the simulated state (fast-forward
+    /// is bit-identical to per-cycle ticking), so not serialized and
+    /// not covered by the snapshot config hash — snapshots move freely
+    /// between the two modes.
+    ff: bool,
+}
+
+/// Process-wide `CAPSTAN_MEM_FASTFORWARD` override, read once:
+/// `Some(false)` for `0`/`false`/`off`, `Some(true)` for `1`/`true`/`on`,
+/// `None` (defer to [`MemSysConfig::fast_forward`]) when unset or
+/// unrecognized.
+fn env_fast_forward() -> Option<bool> {
+    static OVERRIDE: OnceLock<Option<bool>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| match std::env::var("CAPSTAN_MEM_FASTFORWARD") {
+        Ok(v) => match v.trim() {
+            "0" | "false" | "off" => Some(false),
+            "1" | "true" | "on" => Some(true),
+            _ => None,
+        },
+        Err(_) => None,
+    })
 }
 
 impl MemSysSim {
@@ -344,6 +379,7 @@ impl MemSysSim {
             flushed: false,
             cycles_recorded: 0,
             watch: (0, (0, 0, 0)),
+            ff: env_fast_forward().unwrap_or(cfg.fast_forward),
         }
     }
 
@@ -417,6 +453,67 @@ impl MemSysSim {
     /// AGs' end-of-kernel dirty flush).
     pub fn is_done(&self) -> bool {
         self.drained() && self.flushed
+    }
+
+    /// Whether the issue stage could accept at least one request this
+    /// tick — the non-mutating mirror of the issue gates in
+    /// [`MemSysSim::tick`]. Valid across inert stretches because every
+    /// issuance input is frozen while nothing completes: the stream
+    /// cursor and replay cursors advance only on acceptance, channel
+    /// backpressure clears only on a serve, and an AG's outstanding
+    /// window shrinks only when a result releases.
+    fn can_issue(&self) -> bool {
+        if self.cfg.issue_width == 0 {
+            return false;
+        }
+        if self.pending_stream > 0
+            && self
+                .channels
+                .can_accept(STREAM_BASE + self.stream_cursor * BURST_BYTES)
+        {
+            return true;
+        }
+        if self.pending_random > 0 {
+            let burst = match self.rec_random.is_empty() {
+                true => self.random_stream.peek(),
+                false => {
+                    let addr = self.rec_random[self.rec_random_pos % self.rec_random.len()];
+                    (addr / BURST_WORDS as u64) % RANDOM_REGION_BURSTS
+                }
+            };
+            if self.channels.can_accept(burst * BURST_BYTES) {
+                return true;
+            }
+        }
+        if self.pending_atomic > 0 {
+            let span = self.cfg.ag_region_words as u64 * self.cfg.channels as u64;
+            let word = match self.rec_atomic.is_empty() {
+                true => self.atomic_stream.peek(),
+                false => self.rec_atomic[self.rec_atomic_pos % self.rec_atomic.len()] % span,
+            };
+            let region = (word / self.cfg.ag_region_words as u64) as usize;
+            if self.ags[region].outstanding() < self.cfg.max_outstanding_atomics {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Earliest future cycle at which any channel or AG could complete
+    /// work (`None` when nothing is queued anywhere): the minimum of
+    /// every component's [`MemChannel::next_event`]. Under the
+    /// next-event contract, when the issue stage is also blocked
+    /// ([`MemSysSim::can_issue`] is false) every tick strictly before
+    /// this cycle is inert and [`MemSysSim::step`] may jump over it.
+    fn next_event(&self) -> Option<u64> {
+        let mut event = self.channels.next_event();
+        for ag in &self.ags {
+            event = match (event, ag.next_event()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        event
     }
 
     /// Advances the memory system one cycle: issues up to `issue_width`
@@ -510,10 +607,19 @@ impl MemSysSim {
         self.cycles += 1;
     }
 
-    /// Ticks until every queued burst and atomic (and the AGs' dirty
-    /// flush) has drained, then returns the statistics. The simulated
-    /// tick count is added to the process-wide simulated-cycle counter
-    /// exactly once per drained batch.
+    /// Drains every queued burst and atomic (and the AGs' dirty flush)
+    /// and returns the statistics. This is the whole driver surface in
+    /// one call: a thin unbounded loop over [`MemSysSim::step`]
+    /// followed by [`MemSysSim::finish_run`] — callers that need
+    /// bounded slices (checkpointing, cooperative scheduling) drive
+    /// those two primitives directly and get the identical tick
+    /// sequence.
+    ///
+    /// Whether the drain loop burns one host iteration per simulated
+    /// cycle or jumps over provably inert stretches is controlled by
+    /// [`MemSysConfig::fast_forward`] (env override
+    /// `CAPSTAN_MEM_FASTFORWARD`); the two modes are bit-identical in
+    /// simulated cycles, statistics, and snapshots.
     ///
     /// # Panics
     ///
@@ -526,13 +632,27 @@ impl MemSysSim {
 
     /// Advances the drain loop by at most `budget` ticks, returning
     /// whether the batch has fully drained (including the AGs' dirty
-    /// flush). This is [`MemSysSim::run`] with a bounded body: calling
+    /// flush). This is [`MemSysSim::run`]'s bounded body: calling
     /// `step` repeatedly until it returns `true` performs exactly the
     /// same tick sequence as one `run` call, regardless of where the
     /// budget boundaries fall — the property that makes mid-run
     /// checkpoints ([`MemSysSim::save_state`]) cheap to take at any
     /// granularity. Call [`MemSysSim::finish_run`] once after the final
     /// step to publish the cycle accounting.
+    ///
+    /// # Event-driven fast-forward
+    ///
+    /// With [`MemSysConfig::fast_forward`] enabled (the default;
+    /// `CAPSTAN_MEM_FASTFORWARD=0` is the escape hatch back to the
+    /// per-cycle reference loop), `step` skips ahead whenever the issue
+    /// stage is blocked and every component reports its next event
+    /// strictly ahead: the skipped ticks are replayed in closed form by each
+    /// component's [`MemChannel::fast_forward`], bit-identically to
+    /// ticking through them. Jumps are clamped to the remaining
+    /// `budget`, so budget boundaries still never change the tick
+    /// sequence and checkpoints taken mid-jump land on the same cycle
+    /// they would under per-cycle ticking. Jumped cycles still count as
+    /// simulated cycles; only host work is skipped.
     ///
     /// # Panics
     ///
@@ -558,6 +678,29 @@ impl MemSysSim {
             }
             if remaining == 0 {
                 return false;
+            }
+            if self.ff && !self.can_issue() {
+                if let Some(event) = self.next_event() {
+                    // Jump to the tick *before* the event so the next
+                    // per-cycle tick is the one that completes it.
+                    let jump = (event - 1).saturating_sub(self.cycles).min(remaining);
+                    if jump > 0 {
+                        self.channels.fast_forward(jump);
+                        for ag in &mut self.ags {
+                            ag.fast_forward(jump);
+                        }
+                        self.cycles += jump;
+                        remaining -= jump;
+                        // Jumped ticks are provably inert; shifting the
+                        // anchor keeps the watchdog counting only real
+                        // per-cycle ticks, so a legitimate multi-million
+                        // cycle jump never trips it while genuine
+                        // livelock (per-cycle ticks without progress)
+                        // still does.
+                        self.watch.0 += jump;
+                        continue;
+                    }
+                }
             }
             self.tick();
             remaining -= 1;
@@ -683,7 +826,10 @@ impl MemSysSim {
     /// the DRAM model, the bank timing, and the full geometry. Two
     /// drivers with equal hashes replay traffic identically, so a
     /// snapshot is only restorable where its hash matches (checked by
-    /// the snapshot envelope).
+    /// the snapshot envelope). [`MemSysConfig::fast_forward`] is
+    /// deliberately excluded — the two drain modes are bit-identical,
+    /// so snapshots move freely between them (a checkpoint cut under
+    /// fast-forward resumes under per-cycle ticking and vice versa).
     pub fn config_hash(&self) -> u64 {
         let mut w = SnapshotWriter::new();
         w.write_u64(self.channels.model().fingerprint());

@@ -1,0 +1,226 @@
+//! The fast-forward differential proof: the event-driven fast path
+//! (`MemSysConfig::fast_forward`, the default) must be **bit-identical**
+//! to the per-cycle reference loop — same simulated cycle count, same
+//! full `MemStats`, same serialized driver state — for every topology
+//! (1 and 4 region channels) and both scattered address sources
+//! (synthetic streams and recorded vectors). A second group proves the
+//! underlying `MemChannel::next_event` contract on each channel type:
+//! the reported event never overshoots (no completion is ever skipped),
+//! and `fast_forward(k)` for any `k` below the horizon reproduces the
+//! exact serialized state of `k` real ticks.
+
+use capstan_arch::memdrv::{MemStats, MemSysConfig, MemSysSim, TileTraffic};
+use capstan_sim::channel::MemChannel;
+use capstan_sim::dram::{
+    BankTiming, BankedDramChannel, BurstRequest, DramChannel, DramModel, MemoryKind, BURST_BYTES,
+};
+use capstan_sim::snapshot::SnapshotWriter;
+use proptest::prelude::*;
+
+/// Builds a driver with the drain mode pinned explicitly.
+fn build(channels: usize, traffic: TileTraffic, recorded: bool, ff: bool) -> MemSysSim {
+    let model = DramModel::new(MemoryKind::Hbm2e);
+    let mut cfg = MemSysConfig::with_channels(&model, channels);
+    cfg.fast_forward = ff;
+    let mut sim = MemSysSim::with_config(model, cfg);
+    if recorded {
+        // Skewed samples (hub words plus strided tails) so the replay
+        // exercises AG coalescing and row locality, not uniform spray.
+        let random: Vec<u64> = (0..128u64).map(|i| (i * 6151) % (1 << 19)).collect();
+        let atomic: Vec<u64> = (0..128u64)
+            .map(|i| if i % 4 == 0 { i % 32 } else { i * 257 })
+            .collect();
+        sim.add_tile_recorded(traffic, &random, &atomic);
+    } else {
+        sim.add_tile(traffic);
+    }
+    sim
+}
+
+/// Runs `traffic` under both drain modes and asserts the results (and
+/// the final serialized driver states) are bit-identical.
+fn prove_equivalent(channels: usize, traffic: TileTraffic, recorded: bool) -> MemStats {
+    let mut fast = build(channels, traffic, recorded, true);
+    let mut slow = build(channels, traffic, recorded, false);
+    let got = fast.run();
+    let want = slow.run();
+    assert_eq!(
+        got, want,
+        "{channels}ch recorded={recorded}: fast-forward diverged from per-cycle"
+    );
+    assert_eq!(
+        fast.save_state(),
+        slow.save_state(),
+        "{channels}ch recorded={recorded}: final driver states differ at the byte level"
+    );
+    want
+}
+
+#[test]
+fn fast_forward_matches_per_cycle_for_every_topology_and_address_source() {
+    let traffic = TileTraffic {
+        stream_bursts: 700,
+        random_bursts: 500,
+        atomic_words: 900,
+    };
+    for channels in [1usize, 4] {
+        for recorded in [false, true] {
+            prove_equivalent(channels, traffic, recorded);
+        }
+    }
+}
+
+#[test]
+fn fast_forward_matches_per_cycle_on_single_class_workloads() {
+    // Pure workloads hit the fast path's class-specific issue gates
+    // (stream cursor, random peek, atomic outstanding window) one at a
+    // time, including the latency-bound tails where jumps are longest.
+    for traffic in [
+        TileTraffic {
+            stream_bursts: 2000,
+            ..Default::default()
+        },
+        TileTraffic {
+            random_bursts: 1200,
+            ..Default::default()
+        },
+        TileTraffic {
+            atomic_words: 1500,
+            ..Default::default()
+        },
+    ] {
+        prove_equivalent(1, traffic, false);
+        prove_equivalent(4, traffic, false);
+    }
+}
+
+#[test]
+fn fast_forward_matches_per_cycle_under_step_budgets() {
+    // Budget boundaries clamp jumps; the clamped tick sequence must
+    // still be the reference one, whatever the slice size.
+    let traffic = TileTraffic {
+        stream_bursts: 400,
+        random_bursts: 300,
+        atomic_words: 500,
+    };
+    let mut slow = build(1, traffic, false, false);
+    let want = slow.run();
+    for budget in [1u64, 7, 64, 1023] {
+        let mut fast = build(1, traffic, false, true);
+        while !fast.step(budget) {}
+        assert_eq!(fast.finish_run(), want, "budget {budget} changed the run");
+    }
+}
+
+/// Serializes a channel's full mutable state for byte comparison.
+fn state_bytes(ch: &impl MemChannel) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    ch.save_state(&mut w);
+    w.as_bytes().to_vec()
+}
+
+/// Drives `warm` ticks with a deterministic request pattern, then
+/// proves the next-event contract at that point: every tick strictly
+/// before the reported event completes nothing, and `fast_forward(k)`
+/// equals `k` ticks byte-for-byte for the largest legal `k`.
+fn prove_next_event(
+    mut twin_a: impl MemChannel,
+    mut twin_b: impl MemChannel,
+    reqs: &[(u64, bool)],
+    warm: u64,
+) {
+    let mut issued = 0usize;
+    for cycle in 0..warm {
+        if issued < reqs.len() && cycle % 2 == 0 {
+            let (burst, is_write) = reqs[issued];
+            let req = BurstRequest {
+                addr: burst * BURST_BYTES,
+                is_write,
+                tag: issued as u64,
+            };
+            if twin_a.push(req).is_ok() {
+                twin_b
+                    .push(req)
+                    .expect("twins accept identical request streams");
+                issued += 1;
+            }
+        }
+        twin_a.tick();
+        twin_b.tick();
+    }
+    let Some(event) = twin_a.next_event() else {
+        // No queued work: every tick must stay completion-free.
+        for _ in 0..64 {
+            assert!(twin_a.tick().is_empty(), "completion with no work queued");
+        }
+        return;
+    };
+    assert!(event > twin_a.cycle(), "next_event must be in the future");
+    let horizon = event - 1 - twin_a.cycle();
+    // Never-overshoot: tick twin A to one short of the event; nothing
+    // may complete on the way.
+    for _ in 0..horizon {
+        assert!(
+            twin_a.tick().is_empty(),
+            "completion before the reported next event — next_event overshot"
+        );
+    }
+    // Exactness: twin B jumps the same distance in one call and must
+    // land on the identical serialized state.
+    twin_b.fast_forward(horizon);
+    assert_eq!(twin_a.cycle(), twin_b.cycle());
+    assert_eq!(
+        state_bytes(&twin_a),
+        state_bytes(&twin_b),
+        "fast_forward({horizon}) diverged from {horizon} real ticks"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn banked_channel_next_event_never_overshoots(
+        reqs in prop::collection::vec((0u64..2048, any::<bool>()), 1..48),
+        warm in 0u64..400,
+    ) {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let timing = BankTiming::for_model(&model);
+        prove_next_event(
+            BankedDramChannel::new(model, timing),
+            BankedDramChannel::new(model, timing),
+            &reqs,
+            warm,
+        );
+    }
+
+    #[test]
+    fn plain_channel_next_event_never_overshoots(
+        reqs in prop::collection::vec((0u64..2048, any::<bool>()), 1..48),
+        warm in 0u64..400,
+    ) {
+        let model = DramModel::new(MemoryKind::Ddr4);
+        prove_next_event(
+            DramChannel::new(model, 64),
+            DramChannel::new(model, 64),
+            &reqs,
+            warm,
+        );
+    }
+
+    #[test]
+    fn memsys_fast_forward_is_bit_identical_on_random_mixes(
+        stream in 0u64..600,
+        random in 0u64..400,
+        atomic in 0u64..800,
+        channels in prop::sample::select(vec![1usize, 4]),
+        recorded in any::<bool>(),
+    ) {
+        let traffic = TileTraffic {
+            stream_bursts: stream,
+            random_bursts: random,
+            atomic_words: atomic,
+        };
+        prove_equivalent(channels, traffic, recorded);
+    }
+}

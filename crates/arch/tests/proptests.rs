@@ -222,6 +222,7 @@ proptest! {
 /// sequence (tags, values, and cycles, in order) and identical memory.
 mod ag_reference {
     use capstan_arch::ag::{DramAccess, DramAccessResult, BURST_WORDS};
+    use capstan_sim::channel::MemChannel;
     use capstan_sim::dram::{BurstRequest, DramChannel, DramModel};
     use std::collections::{HashMap, VecDeque};
 

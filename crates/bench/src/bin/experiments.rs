@@ -4,6 +4,7 @@
 //! ```text
 //! experiments [NAMES...] [--scale small|medium|large] [--mem analytic|cycle]
 //!             [--mem-addresses synthetic|recorded] [--mem-channels N]
+//!             [--mem-fastforward on|off]
 //!             [--bench-out PATH] [--bench-base PATH] [--no-bench-out]
 //!             [--resume DIR]
 //! ```
@@ -42,7 +43,14 @@
 //! an unlabeled row would silently diverge from the committed baseline.
 //! (`table13-channels` and `table13-recorded` are the exceptions: they
 //! set their channel counts / addressing per configuration and ignore
-//! the process defaults.) `--bench-base PATH` seeds the written record
+//! the process defaults.) `--mem-fastforward on|off` selects between
+//! the cycle-level mode's event-driven fast path (the default) and the
+//! per-cycle reference loop; it adds **no** suffix because the two
+//! modes are bit-identical in simulated cycles — rows stay comparable
+//! and only `cycles_per_second` moves. The `CAPSTAN_MEM_FASTFORWARD`
+//! environment variable overrides the flag (useful for A/B-ing a
+//! build without changing its command line). `--bench-base PATH` seeds
+//! the written record
 //! with an existing baseline's rows (same-name rows replaced), which is
 //! how the committed `BENCH_core.json` carries the analytic full suite
 //! plus the cycle-mode, multi-channel, and recorded-address smoke
@@ -73,15 +81,16 @@ use capstan_bench::experiments as exp;
 use capstan_bench::gate;
 use capstan_bench::Suite;
 use capstan_core::config::{
-    set_default_mem_addressing, set_default_mem_channels, set_default_mem_timing, MemAddressing,
-    MemTiming,
+    set_default_mem_addressing, set_default_mem_channels, set_default_mem_fast_forward,
+    set_default_mem_timing, MemAddressing, MemTiming,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
 
 const USAGE: &str = "usage: experiments [NAMES...] [--scale small|medium|large] \
 [--mem analytic|cycle] [--mem-addresses synthetic|recorded] [--mem-channels N] \
-[--bench-out PATH] [--bench-base PATH] [--no-bench-out] [--resume DIR]";
+[--mem-fastforward on|off] [--bench-out PATH] [--bench-base PATH] [--no-bench-out] \
+[--resume DIR]";
 
 /// Parsed command line (process-default setters are applied by `main`,
 /// not here, so parsing stays a pure, unit-testable function).
@@ -97,6 +106,9 @@ struct Cli {
     mem_addresses: Option<MemAddressing>,
     /// `--mem-channels` override.
     mem_channels: Option<usize>,
+    /// `--mem-fastforward` override (no bench-row suffix: the two drain
+    /// modes are bit-identical in simulated cycles).
+    mem_fast_forward: Option<bool>,
     bench_out: Option<String>,
     bench_base: Option<String>,
     no_bench_out: bool,
@@ -154,6 +166,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     format!("--mem-channels needs a positive integer, got `{raw}`")
                 })?;
                 cli.mem_channels = Some(n);
+            }
+            "--mem-fastforward" => {
+                cli.mem_fast_forward = Some(match value("--mem-fastforward", &mut it)?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("unknown fast-forward mode `{other}` (on|off)")),
+                });
             }
             "--bench-out" => cli.bench_out = Some(value("--bench-out", &mut it)?),
             "--bench-base" => cli.bench_base = Some(value("--bench-base", &mut it)?),
@@ -278,6 +297,11 @@ fn main() {
         if n > 1 {
             chan_suffix = format!("+ch{n}");
         }
+    }
+    // No suffix: fast-forward changes wall-clock speed only, never
+    // simulated cycles, so its rows stay in the same record group.
+    if let Some(enabled) = cli.mem_fast_forward {
+        set_default_mem_fast_forward(enabled);
     }
 
     let mut which = cli.which;
@@ -443,6 +467,8 @@ mod tests {
             "recorded",
             "--mem-channels",
             "4",
+            "--mem-fastforward",
+            "off",
             "--bench-out",
             "OUT.json",
         ]))
@@ -452,6 +478,7 @@ mod tests {
         assert_eq!(cli.mem, Some(MemTiming::CycleLevel));
         assert_eq!(cli.mem_addresses, Some(MemAddressing::Recorded));
         assert_eq!(cli.mem_channels, Some(4));
+        assert_eq!(cli.mem_fast_forward, Some(false));
         assert_eq!(cli.bench_out.as_deref(), Some("OUT.json"));
         assert!(!cli.no_bench_out);
     }
@@ -479,6 +506,7 @@ mod tests {
             "--mem",
             "--mem-addresses",
             "--mem-channels",
+            "--mem-fastforward",
             "--bench-out",
             "--bench-base",
             "--resume",
@@ -504,6 +532,7 @@ mod tests {
         assert!(parse_args(&args(&["--mem-addresses", "vibes"])).is_err());
         assert!(parse_args(&args(&["--mem-channels", "0"])).is_err());
         assert!(parse_args(&args(&["--mem-channels", "many"])).is_err());
+        assert!(parse_args(&args(&["--mem-fastforward", "maybe"])).is_err());
     }
 
     #[test]

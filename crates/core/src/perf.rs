@@ -458,7 +458,13 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
                 // time replaces the closed-form estimate. The driver is
                 // persistent per worker thread (see the module docs), so
                 // sweep-style experiments pay construction once.
-                let mcfg = MemSysConfig::with_channels(&dram_model, cfg.mem_channels);
+                let mut mcfg = MemSysConfig::with_channels(&dram_model, cfg.mem_channels);
+                // The drain-loop mode is declared per config (the
+                // CAPSTAN_MEM_FASTFORWARD env override is applied
+                // inside the driver). It participates in the pool key
+                // like every other config field, which is harmless:
+                // the process-wide default makes it constant per run.
+                mcfg.fast_forward = cfg.mem_fast_forward;
                 // Under recorded addressing, each tile also hands the
                 // driver its sampled scattered-address vectors. The
                 // fallback is per traffic class and driver-wide: a

@@ -16,6 +16,7 @@
 //! Both an analytic interface ([`DramModel`]) and a cycle-level channel
 //! ([`DramChannel`], used by the address-generator simulator) are provided.
 
+use crate::channel::{credit_ready_in, replay_credit, MemChannel};
 use crate::queue::BoundedQueue;
 use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::CLOCK_GHZ;
@@ -238,34 +239,43 @@ impl DramChannel {
         }
     }
 
-    /// Current simulation cycle.
-    pub fn cycle(&self) -> u64 {
-        self.cycle
-    }
-
     /// Total bursts served.
     pub fn served(&self) -> u64 {
         self.served
     }
 
-    /// Attempts to enqueue a burst; fails when the queue is full.
-    pub fn push(&mut self, req: BurstRequest) -> Result<(), BurstRequest> {
+    /// Service rate in bursts per cycle. Random pattern: the
+    /// channel-level sim is used for scattered AG traffic, so the
+    /// conservative efficiency applies.
+    fn bursts_per_cycle(&self) -> f64 {
+        self.model.effective_bytes_per_cycle(AccessPattern::Random) / BURST_BYTES as f64
+    }
+
+    /// Credit cap: credit beyond one cycle's service capacity cannot be
+    /// banked — cycles spent idle or blocked on latency are lost
+    /// bandwidth.
+    fn credit_cap(&self) -> f64 {
+        self.bursts_per_cycle().ceil().max(1.0)
+    }
+}
+
+impl MemChannel for DramChannel {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn push(&mut self, req: BurstRequest) -> Result<(), BurstRequest> {
         self.queue.push((req, self.cycle)).map_err(|(r, _)| r)
     }
 
-    /// Advances one cycle, returning bursts completed this cycle.
-    ///
-    /// The slice borrows an internal buffer reused on the next call, so
-    /// the channel's cycle loop performs no per-tick allocation.
-    pub fn tick(&mut self) -> &[BurstCompletion] {
+    fn can_accept(&self, _addr: u64) -> bool {
+        !self.queue.is_full()
+    }
+
+    fn tick(&mut self) -> &[BurstCompletion] {
         self.cycle += 1;
-        // Random pattern: the channel-level sim is used for scattered AG
-        // traffic, so the conservative efficiency applies.
-        let bursts_per_cycle =
-            self.model.effective_bytes_per_cycle(AccessPattern::Random) / BURST_BYTES as f64;
+        let bursts_per_cycle = self.bursts_per_cycle();
         self.credit += bursts_per_cycle;
-        // Credit beyond one cycle's service capacity cannot be banked:
-        // cycles spent idle or blocked on latency are lost bandwidth.
         let cap = bursts_per_cycle.ceil().max(1.0);
         self.credit = self.credit.min(cap);
         self.completed.clear();
@@ -288,15 +298,38 @@ impl DramChannel {
         &self.completed
     }
 
-    /// Whether any requests are pending.
-    pub fn is_idle(&self) -> bool {
+    fn is_idle(&self) -> bool {
         self.queue.is_empty()
     }
 
-    /// Returns the channel to its as-constructed state without releasing
-    /// any buffer capacity (the persistent-driver reset path: a reset
-    /// channel must be behaviorally indistinguishable from a fresh one).
-    pub fn reset(&mut self) {
+    fn next_event(&self) -> Option<u64> {
+        let latency = self.model.latency_cycles();
+        let front_ready = self
+            .queue
+            .next_event(self.cycle, |&(_, enq)| enq + latency)?;
+        let t = credit_ready_in(self.credit, self.bursts_per_cycle(), self.credit_cap())?;
+        Some(front_ready.max(self.cycle + t))
+    }
+
+    fn fast_forward(&mut self, ticks: u64) {
+        debug_assert!(
+            match self.next_event() {
+                Some(e) => self.cycle + ticks < e,
+                None => true,
+            },
+            "fast-forward across a channel event"
+        );
+        self.credit = replay_credit(
+            self.credit,
+            self.bursts_per_cycle(),
+            self.credit_cap(),
+            ticks,
+        );
+        self.cycle += ticks;
+        self.completed.clear();
+    }
+
+    fn reset(&mut self) {
         self.cycle = 0;
         self.credit = 0.0;
         self.queue.reset();
@@ -304,21 +337,14 @@ impl DramChannel {
         self.served = 0;
     }
 
-    /// Serializes the channel's mutable state (the model is
-    /// construction configuration — guarded by the enclosing snapshot's
-    /// config hash, not re-serialized here).
-    pub fn save_state(&self, w: &mut SnapshotWriter) {
+    fn save_state(&self, w: &mut SnapshotWriter) {
         w.write_u64(self.cycle);
         w.write_f64(self.credit);
         w.write_u64(self.served);
         self.queue.save_state(w, save_queued_request);
     }
 
-    /// Restores state saved by [`DramChannel::save_state`] into a
-    /// channel constructed with the same model and queue depth. The
-    /// per-tick completion scratch is cleared — it is not simulation
-    /// state.
-    pub fn restore_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+    fn restore_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
         self.cycle = r.read_u64()?;
         self.credit = r.read_f64()?;
         self.served = r.read_u64()?;
@@ -495,11 +521,6 @@ impl BankedDramChannel {
         self.row_miss_penalty
     }
 
-    /// Current simulation cycle.
-    pub fn cycle(&self) -> u64 {
-        self.cycle
-    }
-
     /// Aggregate statistics so far.
     pub fn stats(&self) -> BankedStats {
         self.stats
@@ -514,9 +535,14 @@ impl BankedDramChannel {
     pub fn bank_of(&self, addr: u64) -> usize {
         ((addr / BURST_BYTES) % self.timing.banks as u64) as usize
     }
+}
 
-    /// Attempts to enqueue a burst; fails when its bank's queue is full.
-    pub fn push(&mut self, req: BurstRequest) -> Result<(), BurstRequest> {
+impl MemChannel for BankedDramChannel {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn push(&mut self, req: BurstRequest) -> Result<(), BurstRequest> {
         let bank = self.bank_of(req.addr);
         let cycle = self.cycle;
         let q = &mut self.banks[bank].queue;
@@ -526,12 +552,11 @@ impl BankedDramChannel {
         Ok(())
     }
 
-    /// Advances one cycle, returning bursts completed this cycle.
-    ///
-    /// The slice borrows an internal buffer reused on the next call, so
-    /// the tick loop performs no per-tick allocation (mirroring
-    /// [`DramChannel::tick`]).
-    pub fn tick(&mut self) -> &[BurstCompletion] {
+    fn can_accept(&self, addr: u64) -> bool {
+        !self.banks[self.bank_of(addr)].queue.is_full()
+    }
+
+    fn tick(&mut self) -> &[BurstCompletion] {
         self.cycle += 1;
         // Unused bus cycles are lost bandwidth; credit does not bank
         // past the cap.
@@ -583,18 +608,59 @@ impl BankedDramChannel {
         &self.completed
     }
 
-    /// Whether any requests are pending in any bank.
-    pub fn is_idle(&self) -> bool {
+    fn is_idle(&self) -> bool {
         self.banks.iter().all(|b| b.queue.is_empty())
     }
 
-    /// Returns the channel to its as-constructed state without releasing
-    /// any buffer capacity. A reset channel must be behaviorally
-    /// indistinguishable from a fresh one — this is what lets the
-    /// persistent per-thread memory driver reuse channels across
-    /// `simulate` calls while keeping cycle counts bit-identical to the
-    /// construct-per-call path.
-    pub fn reset(&mut self) {
+    fn next_event(&self) -> Option<u64> {
+        // A bank can serve once its queue front has aged past the CAS
+        // latency *and* the bank's busy timer has elapsed; the channel's
+        // event is the earliest such bank, further gated by when the
+        // shared bus accrues a burst of credit.
+        let cas = self.timing.cas_latency;
+        let mut bank_ready: Option<u64> = None;
+        for bank in &self.banks {
+            let busy_until = bank.busy_until;
+            if let Some(ready) = bank
+                .queue
+                .next_event(self.cycle, |&(_, enq)| (enq + cas).max(busy_until))
+            {
+                bank_ready = Some(bank_ready.map_or(ready, |b| b.min(ready)));
+            }
+        }
+        let bank_ready = bank_ready?;
+        let t = credit_ready_in(self.credit, self.bus_bursts_per_cycle, self.credit_cap)?;
+        Some(bank_ready.max(self.cycle + t))
+    }
+
+    fn fast_forward(&mut self, ticks: u64) {
+        debug_assert!(
+            match self.next_event() {
+                Some(e) => self.cycle + ticks < e,
+                None => true,
+            },
+            "fast-forward across a banked-channel event"
+        );
+        self.credit = replay_credit(
+            self.credit,
+            self.bus_bursts_per_cycle,
+            self.credit_cap,
+            ticks,
+        );
+        // Per-cycle ticking counts every busy bank once per tick; a
+        // jump of `ticks` cycles adds the closed-form equivalent (the
+        // busy timers themselves cannot move without a serve).
+        for bank in &self.banks {
+            self.stats.bank_busy_cycles +=
+                ticks.min(bank.busy_until.saturating_sub(self.cycle + 1));
+        }
+        self.cycle += ticks;
+        let n = self.timing.banks;
+        self.rr = (self.rr + (ticks % n as u64) as usize) % n;
+        self.completed.clear();
+    }
+
+    fn reset(&mut self) {
         self.cycle = 0;
         self.credit = 0.0;
         self.rr = 0;
@@ -608,12 +674,11 @@ impl BankedDramChannel {
         }
     }
 
-    /// Serializes the channel's mutable state: cycle, bus credit,
-    /// round-robin cursor, statistics, and every bank's FIFO, open row,
-    /// and busy timer. Derived configuration (model, timing, row-miss
-    /// penalty) is not serialized — the enclosing snapshot's config hash
-    /// guards it.
-    pub fn save_state(&self, w: &mut SnapshotWriter) {
+    // State layout: cycle, bus credit, round-robin cursor, statistics,
+    // then every bank's open row, busy timer, and FIFO. Derived
+    // configuration (model, timing, row-miss penalty) is not
+    // serialized — the enclosing snapshot's config hash guards it.
+    fn save_state(&self, w: &mut SnapshotWriter) {
         w.write_u64(self.cycle);
         w.write_f64(self.credit);
         w.write_len(self.rr);
@@ -633,10 +698,7 @@ impl BankedDramChannel {
         }
     }
 
-    /// Restores state saved by [`BankedDramChannel::save_state`] into a
-    /// channel constructed with the same model and timing (a bank-count
-    /// mismatch is a typed error).
-    pub fn restore_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+    fn restore_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
         self.cycle = r.read_u64()?;
         self.credit = r.read_f64()?;
         let rr = r.read_len()?;
@@ -746,33 +808,6 @@ impl ChannelArray {
         ((addr / BURST_BYTES / self.row_bursts) % self.channels.len() as u64) as usize
     }
 
-    /// Attempts to enqueue a burst on its crossbar-routed channel; fails
-    /// when that channel's target bank queue is full.
-    pub fn push(&mut self, req: BurstRequest) -> Result<(), BurstRequest> {
-        let ch = self.channel_of(req.addr);
-        self.channels[ch].push(req)
-    }
-
-    /// Advances every channel one cycle, returning all bursts completed
-    /// this cycle (merged in the rotating round-robin service order).
-    ///
-    /// The slice borrows an internal buffer reused on the next call.
-    pub fn tick(&mut self) -> &[BurstCompletion] {
-        self.completed.clear();
-        let n = self.channels.len();
-        for i in 0..n {
-            let done = self.channels[(self.rr + i) % n].tick();
-            self.completed.extend_from_slice(done);
-        }
-        self.rr = (self.rr + 1) % n;
-        &self.completed
-    }
-
-    /// Whether every channel has drained.
-    pub fn is_idle(&self) -> bool {
-        self.channels.iter().all(BankedDramChannel::is_idle)
-    }
-
     /// Total bursts accepted across all channels.
     pub fn pushed(&self) -> u64 {
         self.channels.iter().map(BankedDramChannel::pushed).sum()
@@ -808,10 +843,56 @@ impl ChannelArray {
         }
         total
     }
+}
 
-    /// Resets every channel to its as-constructed state (see
-    /// [`BankedDramChannel::reset`]).
-    pub fn reset(&mut self) {
+impl MemChannel for ChannelArray {
+    fn cycle(&self) -> u64 {
+        self.channels[0].cycle()
+    }
+
+    fn push(&mut self, req: BurstRequest) -> Result<(), BurstRequest> {
+        let ch = self.channel_of(req.addr);
+        self.channels[ch].push(req)
+    }
+
+    fn can_accept(&self, addr: u64) -> bool {
+        self.channels[self.channel_of(addr)].can_accept(addr)
+    }
+
+    // Advances every channel one cycle, merging completions in the
+    // rotating round-robin service order.
+    fn tick(&mut self) -> &[BurstCompletion] {
+        self.completed.clear();
+        let n = self.channels.len();
+        for i in 0..n {
+            let done = self.channels[(self.rr + i) % n].tick();
+            self.completed.extend_from_slice(done);
+        }
+        self.rr = (self.rr + 1) % n;
+        &self.completed
+    }
+
+    fn is_idle(&self) -> bool {
+        self.channels.iter().all(MemChannel::is_idle)
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        self.channels
+            .iter()
+            .filter_map(MemChannel::next_event)
+            .min()
+    }
+
+    fn fast_forward(&mut self, ticks: u64) {
+        for ch in &mut self.channels {
+            ch.fast_forward(ticks);
+        }
+        let n = self.channels.len();
+        self.rr = (self.rr + (ticks % n as u64) as usize) % n;
+        self.completed.clear();
+    }
+
+    fn reset(&mut self) {
         for ch in &mut self.channels {
             ch.reset();
         }
@@ -819,9 +900,7 @@ impl ChannelArray {
         self.completed.clear();
     }
 
-    /// Serializes the array's mutable state: the rotating service
-    /// cursor and every channel (see [`BankedDramChannel::save_state`]).
-    pub fn save_state(&self, w: &mut SnapshotWriter) {
+    fn save_state(&self, w: &mut SnapshotWriter) {
         w.write_len(self.rr);
         w.write_len(self.channels.len());
         for ch in &self.channels {
@@ -829,9 +908,7 @@ impl ChannelArray {
         }
     }
 
-    /// Restores state saved by [`ChannelArray::save_state`] into an
-    /// array constructed with the same model, timing, and channel count.
-    pub fn restore_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+    fn restore_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
         let rr = r.read_len()?;
         if rr >= self.channels.len() {
             return Err(SnapshotError::Malformed("channel cursor out of range"));

@@ -17,6 +17,11 @@
 //!   [`dram::BankedDramChannel`]), and the multi-channel
 //!   [`dram::ChannelArray`] — N banked channels behind a deterministic
 //!   region-bit crossbar, the topology of the cycle-level memory mode.
+//! * [`channel`] — the [`channel::MemChannel`] trait: the one driver
+//!   surface all three cycle-level channel topologies implement
+//!   (tick / is_idle / next_event / fast_forward / reset / savestate),
+//!   including the next-event contract behind the memory driver's
+//!   event-driven fast-forward.
 //! * [`network`] — the hybrid static/dynamic on-chip network model
 //!   (512-bit vector links, per-hop latency, §4.1).
 //! * [`snapshot`] — versioned, checksummed binary savestates: the
@@ -26,6 +31,7 @@
 //!
 //! Everything is deterministic; no wall-clock time is consulted anywhere.
 
+pub mod channel;
 pub mod dram;
 pub mod network;
 pub mod queue;

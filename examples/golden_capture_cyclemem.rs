@@ -9,6 +9,7 @@ use capstan::apps::App;
 use capstan::arch::spmu::driver::TraceRng;
 use capstan::core::config::{CapstanConfig, MemAddressing, MemTiming, MemoryKind};
 use capstan::core::perf::simulate;
+use capstan::sim::channel::MemChannel;
 use capstan::sim::dram::{BankTiming, BankedDramChannel, BurstRequest, DramModel, BURST_BYTES};
 use capstan::tensor::gen::Dataset;
 
