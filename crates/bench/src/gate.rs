@@ -27,6 +27,9 @@
 
 use std::fmt;
 
+/// Schema tag written and required by every bench record.
+pub const SCHEMA: &str = "capstan-bench-core/v1";
+
 /// One experiment row of a `capstan-bench-core/v1` record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
@@ -72,6 +75,11 @@ pub enum GateError {
     },
     /// A fresh experiment has no baseline row to gate against.
     MissingExperiment(String),
+    /// Two rows of one record share a name. Name-keyed lookups
+    /// (`compare`'s baseline match, `merge`'s replacement rule) take
+    /// the first hit, so a duplicate silently shadows its twin — the
+    /// record is rejected instead.
+    DuplicateRow(String),
     /// Simulated cycles diverged: the simulator's behavior changed
     /// without the baseline being regenerated.
     CyclesDiverged {
@@ -108,6 +116,11 @@ impl fmt::Display for GateError {
             GateError::MissingExperiment(name) => {
                 write!(f, "experiment `{name}` has no baseline row; regenerate the committed BENCH_core.json")
             }
+            GateError::DuplicateRow(name) => write!(
+                f,
+                "experiment `{name}` appears more than once in the record; \
+                 name-keyed matching would silently shadow one row"
+            ),
             GateError::CyclesDiverged {
                 name,
                 baseline,
@@ -201,9 +214,66 @@ pub fn parse_record(text: &str) -> Result<BenchRecord, GateError> {
             experiments.len()
         )));
     }
+    check_unique_names(&experiments)?;
     Ok(BenchRecord {
         schema,
         scale,
+        experiments,
+    })
+}
+
+/// Rejects records in which two rows share a name. Everything
+/// downstream matches rows by name (`compare` against the baseline,
+/// [`merge`]'s replacement rule), and a name-keyed `find` silently takes
+/// the first hit — so a hand-edited or double-merged record with a
+/// duplicated row used to shadow one of its twins without any error.
+fn check_unique_names(rows: &[BenchEntry]) -> Result<(), GateError> {
+    let mut seen = std::collections::HashSet::new();
+    for row in rows {
+        if !seen.insert(row.name.as_str()) {
+            return Err(GateError::DuplicateRow(row.name.clone()));
+        }
+    }
+    Ok(())
+}
+
+/// Merges `fresh` rows over `base` — the `--bench-base` composition
+/// that lets one record file carry several record groups (the analytic
+/// full suite plus the `+cycle`, `+ch4`, and `+rec` smoke groups). Base
+/// rows are kept unless `fresh` carries a row of the same name, which
+/// replaces them; fresh-only rows are appended in their run order.
+///
+/// The merge is loud about metadata conflicts where it used to be
+/// silent: the two records must agree on schema and scale (rows
+/// generated at different scales are not comparable, and a suffix group
+/// merged into the wrong baseline would corrupt the gate forever), and
+/// neither side may contain two rows with the same name — a duplicate
+/// would silently shadow its twin in every later name-keyed lookup.
+pub fn merge(base: &BenchRecord, fresh: &BenchRecord) -> Result<BenchRecord, GateError> {
+    if base.schema != fresh.schema {
+        return Err(GateError::SchemaMismatch {
+            baseline: base.schema.clone(),
+            fresh: fresh.schema.clone(),
+        });
+    }
+    if base.scale != fresh.scale {
+        return Err(GateError::ScaleMismatch {
+            baseline: base.scale.clone(),
+            fresh: fresh.scale.clone(),
+        });
+    }
+    check_unique_names(&base.experiments)?;
+    check_unique_names(&fresh.experiments)?;
+    let mut experiments: Vec<BenchEntry> = base
+        .experiments
+        .iter()
+        .filter(|b| fresh.experiments.iter().all(|f| f.name != b.name))
+        .cloned()
+        .collect();
+    experiments.extend(fresh.experiments.iter().cloned());
+    Ok(BenchRecord {
+        schema: fresh.schema.clone(),
+        scale: fresh.scale.clone(),
         experiments,
     })
 }
@@ -518,6 +588,86 @@ mod tests {
         );
         let errs = compare(&baseline, &fresh, 0.15);
         assert_eq!(errs.len(), 3, "{errs:?}");
+    }
+
+    #[test]
+    fn merge_replaces_same_name_rows_and_appends_fresh_ones() {
+        let base = record("small", &[("table4", 100, 1000.0), ("fig4", 50, 2000.0)]);
+        let fresh = record("small", &[("fig4", 55, 2100.0), ("fig7+cycle", 70, 900.0)]);
+        let merged = merge(&base, &fresh).unwrap();
+        let names: Vec<&str> = merged.experiments.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["table4", "fig4", "fig7+cycle"]);
+        // The fresh fig4 row won.
+        let fig4 = merged
+            .experiments
+            .iter()
+            .find(|e| e.name == "fig4")
+            .unwrap();
+        assert_eq!(fig4.simulated_cycles, 55);
+        // Untouched base rows carry their values verbatim.
+        let t4 = merged
+            .experiments
+            .iter()
+            .find(|e| e.name == "table4")
+            .unwrap();
+        assert_eq!(t4.simulated_cycles, 100);
+    }
+
+    #[test]
+    fn merge_rejects_scale_and_schema_conflicts() {
+        let base = record("small", &[("table4", 100, 1000.0)]);
+        let fresh = record("medium", &[("fig4", 50, 2000.0)]);
+        assert!(matches!(
+            merge(&base, &fresh),
+            Err(GateError::ScaleMismatch { .. })
+        ));
+        let mut alien = record("small", &[("fig4", 50, 2000.0)]);
+        alien.schema = "someone-elses-schema/v9".to_string();
+        assert!(matches!(
+            merge(&base, &alien),
+            Err(GateError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_rows_on_either_side() {
+        // A duplicated row used to silently shadow its twin: the merge
+        // filter and the gate's `find` both take the first hit. Both
+        // sides are now checked loudly.
+        let dup = record(
+            "small",
+            &[("fig7+cycle", 70, 900.0), ("fig7+cycle", 71, 901.0)],
+        );
+        let clean = record("small", &[("table4", 100, 1000.0)]);
+        assert!(matches!(
+            merge(&dup, &clean),
+            Err(GateError::DuplicateRow(name)) if name == "fig7+cycle"
+        ));
+        assert!(matches!(
+            merge(&clean, &dup),
+            Err(GateError::DuplicateRow(name)) if name == "fig7+cycle"
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_rows() {
+        let text = r#"{
+  "schema": "capstan-bench-core/v1",
+  "scale": "small",
+  "threads": 4,
+  "experiments": [
+    {"name": "table4", "wall_seconds": 0.3, "simulated_cycles": 90000, "cycles_per_second": 288500.9},
+    {"name": "table4", "wall_seconds": 0.3, "simulated_cycles": 90000, "cycles_per_second": 288500.9}
+  ],
+  "total_wall_seconds": 0.6,
+  "total_simulated_cycles": 180000
+}
+"#;
+        let err = parse_record(text).unwrap_err();
+        assert!(
+            matches!(&err, GateError::DuplicateRow(name) if name == "table4"),
+            "{err}"
+        );
     }
 
     #[test]

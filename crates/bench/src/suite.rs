@@ -178,6 +178,86 @@ impl Suite {
         }
     }
 
+    /// Parses a scale specification: a named preset (`small`, `medium`,
+    /// `large`) or an explicit custom form
+    /// `la=0.04,graph=0.015,spmspm=0.5,conv=0.1` listing every scale
+    /// factor exactly once (any key order). Custom factors must be
+    /// finite, positive, and at most 16 — `NaN`/`inf` parse as valid
+    /// `f64`s but would silently produce empty or unbounded datasets,
+    /// so they are rejected loudly here, before any simulation runs.
+    /// The accepted spellings contain no whitespace or tabs, keeping
+    /// scale strings safe to embed in journal manifests, bench records,
+    /// and wire-protocol fields.
+    pub fn parse(spec: &str) -> Result<Suite, String> {
+        if let Some(suite) = Suite::from_name(spec) {
+            return Ok(suite);
+        }
+        let mut la = None;
+        let mut graph = None;
+        let mut spmspm = None;
+        let mut conv = None;
+        for part in spec.split(',') {
+            let (key, raw) = part.split_once('=').ok_or_else(|| {
+                format!(
+                    "unknown scale `{spec}` (small|medium|large or \
+                     la=F,graph=F,spmspm=F,conv=F)"
+                )
+            })?;
+            let value: f64 = raw
+                .parse()
+                .map_err(|_| format!("scale factor `{key}={raw}` is not a number"))?;
+            if !value.is_finite() || value <= 0.0 || value > 16.0 {
+                return Err(format!(
+                    "scale factor `{key}={raw}` must be finite and in (0, 16]"
+                ));
+            }
+            let slot = match key {
+                "la" => &mut la,
+                "graph" => &mut graph,
+                "spmspm" => &mut spmspm,
+                "conv" => &mut conv,
+                _ => {
+                    return Err(format!(
+                        "unknown scale factor `{key}` (la|graph|spmspm|conv)"
+                    ))
+                }
+            };
+            if slot.replace(value).is_some() {
+                return Err(format!("scale factor `{key}` given more than once"));
+            }
+        }
+        match (la, graph, spmspm, conv) {
+            (Some(la_scale), Some(graph_scale), Some(spmspm_scale), Some(conv_scale)) => {
+                Ok(Suite {
+                    la_scale,
+                    graph_scale,
+                    spmspm_scale,
+                    conv_scale,
+                })
+            }
+            _ => Err(format!(
+                "scale `{spec}` must give all of la, graph, spmspm, conv"
+            )),
+        }
+    }
+
+    /// Content fingerprint of the datasets this suite generates. Every
+    /// dataset is produced deterministically from `(Dataset, scale
+    /// factor)`, so the four factors' exact `f64` bit patterns identify
+    /// the generated inputs; hashing bits (snapshot-codec discipline)
+    /// rather than decimal spellings makes `0.5` and `5e-1` the same
+    /// fingerprint. The serving layer folds this into its
+    /// content-addressed cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        use capstan_sim::snapshot::SnapshotWriter;
+        let mut w = SnapshotWriter::new();
+        w.write_f64(self.la_scale);
+        w.write_f64(self.graph_scale);
+        w.write_f64(self.spmspm_scale);
+        w.write_f64(self.conv_scale);
+        capstan_sim::snapshot::fnv1a_64(w.as_bytes())
+    }
+
     fn scale_for(&self, app: AppId) -> f64 {
         match app {
             AppId::CsrSpmv | AppId::CooSpmv | AppId::CscSpmv | AppId::MpM | AppId::BiCgStab => {
@@ -256,6 +336,46 @@ mod tests {
         assert_eq!(AppId::CsrSpmv.family(), AppId::CscSpmv.family());
         assert_eq!(AppId::PrPull.family(), AppId::PrEdge.family());
         assert_ne!(AppId::Bfs.family(), AppId::Sssp.family());
+    }
+
+    #[test]
+    fn scale_parse_accepts_presets_and_custom_factors() {
+        assert_eq!(Suite::parse("small").unwrap(), Suite::small());
+        assert_eq!(Suite::parse("large").unwrap(), Suite::large());
+        let custom = Suite::parse("la=0.04,graph=0.015,spmspm=0.5,conv=0.1").unwrap();
+        assert_eq!(custom, Suite::small());
+        // Key order is free-form; values are what matter.
+        let reordered = Suite::parse("conv=0.1,spmspm=0.5,la=0.04,graph=0.015").unwrap();
+        assert_eq!(reordered, custom);
+    }
+
+    #[test]
+    fn scale_parse_rejects_nan_inf_and_malformed_specs() {
+        for bad in [
+            "gigantic",
+            "la=0.04",
+            "la=0.04,graph=0.015,spmspm=0.5,conv=NaN",
+            "la=inf,graph=0.015,spmspm=0.5,conv=0.1",
+            "la=-0.04,graph=0.015,spmspm=0.5,conv=0.1",
+            "la=0,graph=0.015,spmspm=0.5,conv=0.1",
+            "la=99,graph=0.015,spmspm=0.5,conv=0.1",
+            "la=0.04,la=0.04,graph=0.015,spmspm=0.5,conv=0.1",
+            "la=0.04,graph=0.015,spmspm=0.5,conv=0.1,zoom=2",
+            "la=0.04,graph=0.015,spmspm=0.5,conv=0.1 ",
+        ] {
+            assert!(Suite::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn fingerprints_follow_values_not_spellings() {
+        let named = Suite::parse("small").unwrap().fingerprint();
+        let spelled = Suite::parse("la=4e-2,graph=1.5e-2,spmspm=5e-1,conv=1e-1")
+            .unwrap()
+            .fingerprint();
+        assert_eq!(named, spelled);
+        assert_ne!(named, Suite::medium().fingerprint());
+        assert_ne!(Suite::medium().fingerprint(), Suite::large().fingerprint());
     }
 
     #[test]

@@ -53,6 +53,69 @@ pub enum MemAddressing {
     Recorded,
 }
 
+impl MemTiming {
+    /// Canonical one-word name — the `--mem` CLI value, the wire-protocol
+    /// field value, and the token hashed into content-addressed cache
+    /// keys. One spelling everywhere, so a config can never round-trip
+    /// into a different one.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MemTiming::Analytic => "analytic",
+            MemTiming::CycleLevel => "cycle",
+        }
+    }
+
+    /// Parses [`tag`](Self::tag)'s spelling; `None` for anything else.
+    pub fn parse(s: &str) -> Option<MemTiming> {
+        match s {
+            "analytic" => Some(MemTiming::Analytic),
+            "cycle" => Some(MemTiming::CycleLevel),
+            _ => None,
+        }
+    }
+}
+
+impl MemAddressing {
+    /// Canonical one-word name (see [`MemTiming::tag`]).
+    pub fn tag(self) -> &'static str {
+        match self {
+            MemAddressing::Synthetic => "synthetic",
+            MemAddressing::Recorded => "recorded",
+        }
+    }
+
+    /// Parses [`tag`](Self::tag)'s spelling; `None` for anything else.
+    pub fn parse(s: &str) -> Option<MemAddressing> {
+        match s {
+            "synthetic" => Some(MemAddressing::Synthetic),
+            "recorded" => Some(MemAddressing::Recorded),
+            _ => None,
+        }
+    }
+}
+
+/// The bench-row suffix a memory configuration runs under: `+cycle` for
+/// the cycle-level timing mode, `+rec` for recorded addressing, `+chN`
+/// for N > 1 region channels, concatenated in that fixed order. Rows
+/// with different suffixes form separate record groups (their simulated
+/// cycles intentionally differ), so every place that names a row — the
+/// `experiments` CLI, its resume journal, and the serving layer's
+/// shard/merge protocol — must derive the suffix identically; this is
+/// the one definition they all share.
+pub fn mem_record_suffix(timing: MemTiming, addressing: MemAddressing, channels: usize) -> String {
+    let mut suffix = String::new();
+    if timing == MemTiming::CycleLevel {
+        suffix.push_str("+cycle");
+    }
+    if addressing == MemAddressing::Recorded {
+        suffix.push_str("+rec");
+    }
+    if channels > 1 {
+        suffix.push_str(&format!("+ch{channels}"));
+    }
+    suffix
+}
+
 /// Process-wide default for [`CapstanConfig::new`]'s `mem_timing` field
 /// (0 = analytic, 1 = cycle-level).
 static DEFAULT_MEM_TIMING: AtomicU8 = AtomicU8::new(0);
@@ -355,6 +418,34 @@ mod tests {
         // way.)
         assert!(CapstanConfig::paper_default().mem_fast_forward);
         assert!(default_mem_fast_forward());
+    }
+
+    #[test]
+    fn mem_mode_tags_round_trip_and_reject_garbage() {
+        for timing in [MemTiming::Analytic, MemTiming::CycleLevel] {
+            assert_eq!(MemTiming::parse(timing.tag()), Some(timing));
+        }
+        for addressing in [MemAddressing::Synthetic, MemAddressing::Recorded] {
+            assert_eq!(MemAddressing::parse(addressing.tag()), Some(addressing));
+        }
+        assert_eq!(MemTiming::parse("psychic"), None);
+        assert_eq!(MemTiming::parse("Analytic"), None);
+        assert_eq!(MemAddressing::parse("vibes"), None);
+    }
+
+    #[test]
+    fn record_suffixes_match_the_committed_baseline_spellings() {
+        // The committed BENCH_core.json carries rows named with exactly
+        // these suffixes; a drifted spelling would silently open a new,
+        // ungated record group.
+        use MemAddressing::*;
+        use MemTiming::*;
+        assert_eq!(mem_record_suffix(Analytic, Synthetic, 1), "");
+        assert_eq!(mem_record_suffix(CycleLevel, Synthetic, 1), "+cycle");
+        assert_eq!(mem_record_suffix(CycleLevel, Recorded, 1), "+cycle+rec");
+        assert_eq!(mem_record_suffix(CycleLevel, Synthetic, 4), "+cycle+ch4");
+        assert_eq!(mem_record_suffix(Analytic, Synthetic, 4), "+ch4");
+        assert_eq!(mem_record_suffix(CycleLevel, Recorded, 2), "+cycle+rec+ch2");
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! Experiment driver: regenerates every table and figure of the paper,
-//! and records a machine-readable performance trajectory.
+//! records a machine-readable performance trajectory, and fronts the
+//! simulation service (`--serve` / `--submit`).
 //!
 //! ```text
-//! experiments [NAMES...] [--scale small|medium|large] [--mem analytic|cycle]
+//! experiments [NAMES...] [--scale small|medium|large|la=F,graph=F,spmspm=F,conv=F]
+//!             [--mem analytic|cycle]
 //!             [--mem-addresses synthetic|recorded] [--mem-channels N]
 //!             [--mem-fastforward on|off]
 //!             [--bench-out PATH] [--bench-base PATH] [--no-bench-out]
 //!             [--resume DIR]
+//! experiments --serve ADDR [--serve-shards N] [--serve-workdir DIR]
+//! experiments [NAMES...] --submit ADDR [--scale ...] [--mem ...]
+//!             [--mem-addresses ...] [--mem-channels N]
+//! experiments --serve-stats ADDR | --serve-shutdown ADDR
 //! ```
 //!
 //! `NAMES` are `table4..table13`, `table13-atomics`, `table13-channels`,
@@ -23,6 +29,11 @@
 //! would silently replace the committed full-suite baseline); pass
 //! `--bench-out PATH` to record one anyway, or `--no-bench-out` to
 //! suppress the full-suite write.
+//!
+//! `--scale` accepts the named presets or a custom
+//! `la=F,graph=F,spmspm=F,conv=F` factor spec (see
+//! `capstan_bench::Suite::parse`); non-finite or non-positive factors
+//! are rejected up front.
 //!
 //! `--mem cycle` switches every constructed configuration to the
 //! cycle-level AG-backed memory mode (`MemTiming::CycleLevel`) and tags
@@ -43,7 +54,11 @@
 //! an unlabeled row would silently diverge from the committed baseline.
 //! (`table13-channels` and `table13-recorded` are the exceptions: they
 //! set their channel counts / addressing per configuration and ignore
-//! the process defaults.) `--mem-fastforward on|off` selects between
+//! the process defaults.) The suffix rules live in one place,
+//! `capstan_core::config::mem_record_suffix`, shared with the serving
+//! layer, so the CLI, the server, and the journal headers can never
+//! disagree on a row's record group. `--mem-fastforward on|off`
+//! selects between
 //! the cycle-level mode's event-driven fast path (the default) and the
 //! per-cycle reference loop; it adds **no** suffix because the two
 //! modes are bit-identical in simulated cycles — rows stay comparable
@@ -51,7 +66,10 @@
 //! environment variable overrides the flag (useful for A/B-ing a
 //! build without changing its command line). `--bench-base PATH` seeds
 //! the written record
-//! with an existing baseline's rows (same-name rows replaced), which is
+//! with an existing baseline's rows (same-name rows replaced, via
+//! `capstan_bench::gate::merge` — duplicate row names or a scale
+//! conflict on either side are loud errors, never a silently shadowed
+//! row), which is
 //! how the committed `BENCH_core.json` carries the analytic full suite
 //! plus the cycle-mode, multi-channel, and recorded-address smoke
 //! groups (the full recipe is in `crates/bench/README.md`):
@@ -76,21 +94,44 @@
 //! byte-identical to an uninterrupted run's (the kill-and-resume CI job
 //! enforces this). A journal written under different `--scale` /
 //! suffix flags is rejected loudly.
+//!
+//! `--serve ADDR` turns the binary into the simulation service
+//! (`capstan_serve`): it binds `ADDR`, prints
+//! `capstan-serve listening on <addr>` once ready, and answers
+//! newline-framed requests — batching compatible submissions, caching
+//! results content-addressed, and sharding batches across worker
+//! subprocesses (which are plain `--resume`/`--bench-out` invocations
+//! of this same binary). `--submit ADDR` is the matching client: it
+//! submits the named experiments (with the usual `--scale`/`--mem`/...
+//! flags describing the *request*, not this process) and prints the
+//! returned reports in command-line order — byte-identical to running
+//! the same experiments directly. `--serve-stats` prints the server's
+//! counters as `k=v` lines; `--serve-shutdown` stops it.
 
 use capstan_bench::experiments as exp;
-use capstan_bench::gate;
+use capstan_bench::gate::{self, BenchEntry, BenchRecord};
 use capstan_bench::Suite;
 use capstan_core::config::{
-    set_default_mem_addressing, set_default_mem_channels, set_default_mem_fast_forward,
-    set_default_mem_timing, MemAddressing, MemTiming,
+    mem_record_suffix, set_default_mem_addressing, set_default_mem_channels,
+    set_default_mem_fast_forward, set_default_mem_timing, MemAddressing, MemTiming,
 };
+use capstan_serve::client;
+use capstan_serve::key::RunSpec;
+use capstan_serve::server::{Server, ServerConfig};
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::time::Instant;
 
-const USAGE: &str = "usage: experiments [NAMES...] [--scale small|medium|large] \
+const USAGE: &str = "usage: experiments [NAMES...] \
+[--scale small|medium|large|la=F,graph=F,spmspm=F,conv=F] \
 [--mem analytic|cycle] [--mem-addresses synthetic|recorded] [--mem-channels N] \
 [--mem-fastforward on|off] [--bench-out PATH] [--bench-base PATH] [--no-bench-out] \
-[--resume DIR]";
+[--resume DIR]
+       experiments --serve ADDR [--serve-shards N] [--serve-workdir DIR]
+       experiments [NAMES...] --submit ADDR [--scale SPEC] [--mem MODE] \
+[--mem-addresses MODE] [--mem-channels N]
+       experiments --serve-stats ADDR
+       experiments --serve-shutdown ADDR";
 
 /// Parsed command line (process-default setters are applied by `main`,
 /// not here, so parsing stays a pure, unit-testable function).
@@ -98,7 +139,7 @@ const USAGE: &str = "usage: experiments [NAMES...] [--scale small|medium|large] 
 struct Cli {
     /// Experiment names in command-line order, `all` not yet expanded.
     which: Vec<String>,
-    /// Validated scale name (default `medium`).
+    /// Validated scale spec (default `medium`).
     scale: Option<String>,
     /// `--mem` override (last one wins, like the process setters).
     mem: Option<MemTiming>,
@@ -114,13 +155,26 @@ struct Cli {
     no_bench_out: bool,
     /// `--resume` journal directory (crash-safe resumable runs).
     resume: Option<String>,
+    /// `--serve` listen address (server mode).
+    serve: Option<String>,
+    /// `--submit` server address (client mode).
+    submit: Option<String>,
+    /// `--serve-stats` server address (print the counters and exit).
+    serve_stats: Option<String>,
+    /// `--serve-shutdown` server address.
+    serve_shutdown: Option<String>,
+    /// `--serve-shards` worker-process cap per batch group.
+    serve_shards: Option<usize>,
+    /// `--serve-workdir` scratch-directory override.
+    serve_workdir: Option<String>,
 }
 
 /// Parses the argument list. Unknown `--flags`, flags missing their
-/// value, and unparsable values are all errors (the caller prints the
-/// usage and exits 2) — they must never fall through as experiment
-/// names, where they would only surface later as a confusing "unknown
-/// experiment" failure or a panicking `.expect`.
+/// value, unparsable values, and contradictory mode combinations are
+/// all errors (the caller prints the usage and exits 2) — they must
+/// never fall through as experiment names, where they would only
+/// surface later as a confusing "unknown experiment" failure or a
+/// panicking `.expect`.
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli::default();
     let mut it = args.iter();
@@ -136,29 +190,22 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                let name = value("--scale", &mut it)?;
-                if Suite::from_name(&name).is_none() {
-                    return Err(format!("unknown scale `{name}` (small|medium|large)"));
-                }
-                cli.scale = Some(name);
+                let spec = value("--scale", &mut it)?;
+                Suite::parse(&spec)?;
+                cli.scale = Some(spec);
             }
             "--mem" => {
-                cli.mem = Some(match value("--mem", &mut it)?.as_str() {
-                    "analytic" => MemTiming::Analytic,
-                    "cycle" => MemTiming::CycleLevel,
-                    other => return Err(format!("unknown memory mode `{other}` (analytic|cycle)")),
-                });
+                let raw = value("--mem", &mut it)?;
+                cli.mem = Some(
+                    MemTiming::parse(&raw)
+                        .ok_or_else(|| format!("unknown memory mode `{raw}` (analytic|cycle)"))?,
+                );
             }
             "--mem-addresses" => {
-                cli.mem_addresses = Some(match value("--mem-addresses", &mut it)?.as_str() {
-                    "synthetic" => MemAddressing::Synthetic,
-                    "recorded" => MemAddressing::Recorded,
-                    other => {
-                        return Err(format!(
-                            "unknown addressing mode `{other}` (synthetic|recorded)"
-                        ))
-                    }
-                });
+                let raw = value("--mem-addresses", &mut it)?;
+                cli.mem_addresses = Some(MemAddressing::parse(&raw).ok_or_else(|| {
+                    format!("unknown addressing mode `{raw}` (synthetic|recorded)")
+                })?);
             }
             "--mem-channels" => {
                 let raw = value("--mem-channels", &mut it)?;
@@ -178,13 +225,87 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--bench-base" => cli.bench_base = Some(value("--bench-base", &mut it)?),
             "--no-bench-out" => cli.no_bench_out = true,
             "--resume" => cli.resume = Some(value("--resume", &mut it)?),
+            "--serve" => cli.serve = Some(value("--serve", &mut it)?),
+            "--submit" => cli.submit = Some(value("--submit", &mut it)?),
+            "--serve-stats" => cli.serve_stats = Some(value("--serve-stats", &mut it)?),
+            "--serve-shutdown" => cli.serve_shutdown = Some(value("--serve-shutdown", &mut it)?),
+            "--serve-shards" => {
+                let raw = value("--serve-shards", &mut it)?;
+                let n: usize = raw.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    format!("--serve-shards needs a positive integer, got `{raw}`")
+                })?;
+                cli.serve_shards = Some(n);
+            }
+            "--serve-workdir" => cli.serve_workdir = Some(value("--serve-workdir", &mut it)?),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`"));
             }
             name => cli.which.push(name.to_string()),
         }
     }
+    check_modes(&cli)?;
     Ok(cli)
+}
+
+/// Rejects contradictory mode combinations: the four service verbs are
+/// mutually exclusive, `--serve`/`--serve-stats`/`--serve-shutdown`
+/// take no experiment selection at all (submissions carry their own
+/// configuration), and `--submit` cannot combine with the
+/// local-run-only recording/resume flags — the server owns journals
+/// and records, and silently ignoring the flags would look like they
+/// worked.
+fn check_modes(cli: &Cli) -> Result<(), String> {
+    let modes = [
+        ("--serve", cli.serve.is_some()),
+        ("--submit", cli.submit.is_some()),
+        ("--serve-stats", cli.serve_stats.is_some()),
+        ("--serve-shutdown", cli.serve_shutdown.is_some()),
+    ];
+    let picked: Vec<&str> = modes
+        .iter()
+        .filter(|(_, on)| *on)
+        .map(|(n, _)| *n)
+        .collect();
+    if picked.len() > 1 {
+        return Err(format!("{} are mutually exclusive", picked.join(" and ")));
+    }
+    if (cli.serve_shards.is_some() || cli.serve_workdir.is_some()) && cli.serve.is_none() {
+        return Err("--serve-shards/--serve-workdir only apply with --serve".to_string());
+    }
+    if cli.serve.is_some() || cli.serve_stats.is_some() || cli.serve_shutdown.is_some() {
+        let mode = picked[0];
+        if !cli.which.is_empty() {
+            return Err(format!("{mode} takes no experiment names"));
+        }
+        if cli.scale.is_some()
+            || cli.mem.is_some()
+            || cli.mem_addresses.is_some()
+            || cli.mem_channels.is_some()
+            || cli.mem_fast_forward.is_some()
+            || cli.bench_out.is_some()
+            || cli.bench_base.is_some()
+            || cli.no_bench_out
+            || cli.resume.is_some()
+        {
+            return Err(format!(
+                "{mode} takes no run flags (submissions carry their own configuration)"
+            ));
+        }
+    }
+    if cli.submit.is_some()
+        && (cli.bench_out.is_some()
+            || cli.bench_base.is_some()
+            || cli.no_bench_out
+            || cli.resume.is_some()
+            || cli.mem_fast_forward.is_some())
+    {
+        return Err(
+            "--submit cannot combine with --bench-out/--bench-base/--no-bench-out/--resume/\
+             --mem-fastforward (the server owns recording, resume, and drain mode)"
+                .to_string(),
+        );
+    }
+    Ok(())
 }
 
 /// Expands `all` into the canonical experiment list and deduplicates,
@@ -207,29 +328,20 @@ fn expand_and_dedup(which: &[String]) -> Vec<String> {
         .collect()
 }
 
-struct BenchRecord {
-    name: String,
-    wall_seconds: f64,
-    simulated_cycles: u64,
-    /// Carried verbatim when the row comes from `--bench-base`; fresh
-    /// rows recompute it from the wall time.
-    cycles_per_second: Option<f64>,
-}
-
 /// Exits 2 with a message — the shared fate of every harness-level
 /// (non-experiment) failure: bad flags, a corrupt `--bench-base`, an
-/// unusable `--resume` journal.
+/// unusable `--resume` journal, an unbindable `--serve` address.
 fn die(msg: &str) -> ! {
     eprintln!("experiments: {msg}");
     std::process::exit(2);
 }
 
-fn bench_json(scale: &str, records: &[BenchRecord]) -> String {
+fn bench_json(scale: &str, records: &[BenchEntry]) -> String {
     let mut json = String::new();
     let total_wall: f64 = records.iter().map(|r| r.wall_seconds).sum();
     let total_cycles: u64 = records.iter().map(|r| r.simulated_cycles).sum();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"capstan-bench-core/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"{}\",", gate::SCHEMA);
     let _ = writeln!(json, "  \"scale\": \"{scale}\",");
     let _ = writeln!(
         json,
@@ -238,18 +350,13 @@ fn bench_json(scale: &str, records: &[BenchRecord]) -> String {
     );
     let _ = writeln!(json, "  \"experiments\": [");
     for (i, r) in records.iter().enumerate() {
-        let cps = r.cycles_per_second.unwrap_or(if r.wall_seconds > 0.0 {
-            r.simulated_cycles as f64 / r.wall_seconds
-        } else {
-            0.0
-        });
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"simulated_cycles\": {}, \"cycles_per_second\": {:.1}}}{}",
             r.name,
             r.wall_seconds,
             r.simulated_cycles,
-            cps,
+            r.cycles_per_second,
             if i + 1 < records.len() { "," } else { "" }
         );
     }
@@ -258,6 +365,93 @@ fn bench_json(scale: &str, records: &[BenchRecord]) -> String {
     let _ = writeln!(json, "  \"total_simulated_cycles\": {total_cycles}");
     let _ = writeln!(json, "}}");
     json
+}
+
+/// A fresh bench row: the suffixed name plus the computed throughput
+/// (zero for experiments whose wall time rounds to zero).
+fn entry_row(name: &str, suffix: &str, wall_seconds: f64, simulated_cycles: u64) -> BenchEntry {
+    BenchEntry {
+        name: format!("{name}{suffix}"),
+        wall_seconds,
+        simulated_cycles,
+        cycles_per_second: if wall_seconds > 0.0 {
+            simulated_cycles as f64 / wall_seconds
+        } else {
+            0.0
+        },
+    }
+}
+
+/// `--serve`: bind, announce readiness on stdout, run until a shutdown
+/// request.
+fn run_server(cli: &Cli) -> ! {
+    let addr = cli.serve.as_deref().expect("serve mode");
+    // The server and its workers are the same binary — the service
+    // needs no second executable, and a worker trivially agrees with
+    // its server about report and record formats.
+    let worker_exe = std::env::current_exe()
+        .unwrap_or_else(|e| die(&format!("cannot locate the worker binary: {e}")));
+    let work_dir = cli
+        .serve_workdir
+        .as_deref()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("capstan-serve-{}", std::process::id()))
+        });
+    let mut config = ServerConfig::new(worker_exe, work_dir);
+    if let Some(n) = cli.serve_shards {
+        config.shards = n;
+    }
+    let server =
+        Server::bind(addr, config).unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    let local = server
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("cannot read the bound address: {e}")));
+    println!("capstan-serve listening on {local}");
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => die(&format!("server failed: {e}")),
+    }
+}
+
+/// `--submit`: send every named experiment to the server concurrently,
+/// then print the returned reports in command-line order — the same
+/// bytes a direct run of the same names would print.
+fn run_submit(cli: &Cli) -> ! {
+    let addr = cli.submit.as_deref().expect("submit mode");
+    let scale = cli.scale.clone().unwrap_or_else(|| "medium".to_string());
+    let mut which = cli.which.clone();
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    let specs: Vec<RunSpec> = expand_and_dedup(&which)
+        .iter()
+        .map(|name| {
+            let mut spec = RunSpec::new(name);
+            spec.scale = scale.clone();
+            spec.mem = cli.mem.unwrap_or_default();
+            spec.addresses = cli.mem_addresses.unwrap_or_default();
+            spec.channels = cli.mem_channels.unwrap_or(1);
+            spec
+        })
+        .collect();
+    // Concurrent submissions land in the server's linger window and
+    // batch into one sweep; reports still print in input order.
+    let threads = specs.len().clamp(1, 16);
+    let results =
+        capstan_par::par_map_threads(&specs, threads, |spec| client::submit(addr, spec, None));
+    let mut failed = false;
+    for (spec, result) in specs.iter().zip(&results) {
+        match result {
+            Ok(reply) => print!("{}", reply.report),
+            Err(e) => {
+                eprintln!("experiments: submit {} failed: {e}", spec.experiment);
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
 }
 
 fn main() {
@@ -271,38 +465,60 @@ fn main() {
         }
     };
 
+    // Service verbs run before any process-default setter is touched:
+    // the serving process simulates nothing itself, and a submission's
+    // configuration travels in the request.
+    if cli.serve.is_some() {
+        run_server(&cli);
+    }
+    if cli.submit.is_some() {
+        run_submit(&cli);
+    }
+    if let Some(addr) = cli.serve_stats.as_deref() {
+        match client::stats(addr) {
+            Ok(counters) => {
+                for (name, count) in counters {
+                    println!("{name}={count}");
+                }
+                std::process::exit(0);
+            }
+            Err(e) => die(&format!("stats request to {addr} failed: {e}")),
+        }
+    }
+    if let Some(addr) = cli.serve_shutdown.as_deref() {
+        match client::shutdown(addr) {
+            Ok(()) => std::process::exit(0),
+            Err(e) => die(&format!("shutdown request to {addr} failed: {e}")),
+        }
+    }
+
     let scale_name = cli.scale.unwrap_or_else(|| "medium".to_string());
-    let suite = Suite::from_name(&scale_name).expect("scale validated during parsing");
-    // Suffixes are derived from the last flag occurrence (parse keeps
-    // last-one-wins semantics), matching the process-default setters.
-    let mut mem_suffix = "";
+    let suite = match Suite::parse(&scale_name) {
+        Ok(suite) => suite,
+        Err(e) => die(&e),
+    };
+    // Setters follow the last flag occurrence (parse keeps
+    // last-one-wins semantics); the bench-row suffix comes from the
+    // shared `mem_record_suffix` rule.
     if let Some(mode) = cli.mem {
         set_default_mem_timing(mode);
-        mem_suffix = match mode {
-            MemTiming::Analytic => "",
-            MemTiming::CycleLevel => "+cycle",
-        };
     }
-    let mut rec_suffix = "";
     if let Some(mode) = cli.mem_addresses {
         set_default_mem_addressing(mode);
-        rec_suffix = match mode {
-            MemAddressing::Synthetic => "",
-            MemAddressing::Recorded => "+rec",
-        };
     }
-    let mut chan_suffix = String::new();
     if let Some(n) = cli.mem_channels {
         set_default_mem_channels(n);
-        if n > 1 {
-            chan_suffix = format!("+ch{n}");
-        }
     }
     // No suffix: fast-forward changes wall-clock speed only, never
     // simulated cycles, so its rows stay in the same record group.
     if let Some(enabled) = cli.mem_fast_forward {
         set_default_mem_fast_forward(enabled);
     }
+    let suffix = mem_record_suffix(
+        cli.mem.unwrap_or_default(),
+        cli.mem_addresses.unwrap_or_default(),
+        cli.mem_channels.unwrap_or(1),
+    );
 
     let mut which = cli.which;
     if which.is_empty() {
@@ -318,9 +534,7 @@ fn main() {
     let mut bench_out = cli.bench_out;
     if bench_out.is_none()
         && !cli.no_bench_out
-        && mem_suffix.is_empty()
-        && rec_suffix.is_empty()
-        && chan_suffix.is_empty()
+        && suffix.is_empty()
         && which.iter().any(|w| w == "all")
     {
         bench_out = Some("BENCH_core.json".to_string());
@@ -335,7 +549,6 @@ fn main() {
     // Open the resume journal (if any) up front, before any experiment
     // runs: a corrupt or mismatched journal must fail the invocation
     // loudly, not after minutes of re-simulation.
-    let suffix = format!("{mem_suffix}{rec_suffix}{chan_suffix}");
     let mut journal = cli.resume.as_deref().map(|dir| {
         match capstan_bench::journal::Journal::open_or_create(
             std::path::Path::new(dir),
@@ -347,7 +560,7 @@ fn main() {
         }
     });
 
-    let mut records = Vec::new();
+    let mut records: Vec<BenchEntry> = Vec::new();
     let mut failed = false;
     for name in &expanded {
         // A journaled experiment replays from the journal: its stored
@@ -360,12 +573,12 @@ fn main() {
                 Err(e) => die(&e),
             };
             print!("{report}");
-            records.push(BenchRecord {
-                name: format!("{name}{suffix}"),
-                wall_seconds: entry.wall_seconds,
-                simulated_cycles: entry.simulated_cycles,
-                cycles_per_second: None,
-            });
+            records.push(entry_row(
+                name,
+                &suffix,
+                entry.wall_seconds,
+                entry.simulated_cycles,
+            ));
             continue;
         }
         let cycles_before = capstan_sim::stats::simulated_cycles();
@@ -383,12 +596,7 @@ fn main() {
                         die(&e);
                     }
                 }
-                records.push(BenchRecord {
-                    name: format!("{name}{suffix}"),
-                    wall_seconds,
-                    simulated_cycles,
-                    cycles_per_second: None,
-                });
+                records.push(entry_row(name, &suffix, wall_seconds, simulated_cycles));
             }
             None => {
                 eprintln!("unknown experiment `{name}`");
@@ -400,34 +608,24 @@ fn main() {
     // Seed the record with an existing baseline's rows (same-name rows
     // replaced by this run), so one file can carry several record
     // groups — e.g. the analytic full suite plus the `+cycle` smoke.
-    // A missing, truncated, or otherwise corrupt baseline is a loud
-    // harness error (exit 2): silently merging against garbage would
-    // quietly discard committed baseline groups.
+    // A missing, truncated, or otherwise corrupt baseline — or one
+    // whose rows collide with themselves (duplicate names) or with
+    // this run's scale — is a loud harness error (exit 2): silently
+    // merging against garbage would quietly discard or shadow
+    // committed baseline groups.
     if let Some(base_path) = cli.bench_base {
         let text = std::fs::read_to_string(&base_path)
             .unwrap_or_else(|e| die(&format!("could not read --bench-base {base_path}: {e}")));
         let base = gate::parse_record(&text)
             .unwrap_or_else(|e| die(&format!("malformed --bench-base {base_path}: {e}")));
-        if base.scale != scale_name {
-            die(&format!(
-                "--bench-base scale `{}` differs from this run's `{scale_name}`; \
-                 rows would not be comparable",
-                base.scale
-            ));
-        }
-        let mut merged: Vec<BenchRecord> = base
-            .experiments
-            .into_iter()
-            .filter(|b| records.iter().all(|r| r.name != b.name))
-            .map(|b| BenchRecord {
-                name: b.name,
-                wall_seconds: b.wall_seconds,
-                simulated_cycles: b.simulated_cycles,
-                cycles_per_second: Some(b.cycles_per_second),
-            })
-            .collect();
-        merged.append(&mut records);
-        records = merged;
+        let fresh = BenchRecord {
+            schema: gate::SCHEMA.to_string(),
+            scale: scale_name.clone(),
+            experiments: records,
+        };
+        records = gate::merge(&base, &fresh)
+            .unwrap_or_else(|e| die(&format!("--bench-base {base_path}: {e}")))
+            .experiments;
     }
 
     if let Some(path) = bench_out {
@@ -484,6 +682,22 @@ mod tests {
     }
 
     #[test]
+    fn custom_scale_specs_parse_and_bad_ones_are_rejected() {
+        let cli = parse_args(&args(&[
+            "fig7",
+            "--scale",
+            "la=0.04,graph=0.015,spmspm=0.5,conv=0.1",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.scale.as_deref(),
+            Some("la=0.04,graph=0.015,spmspm=0.5,conv=0.1")
+        );
+        assert!(parse_args(&args(&["--scale", "la=NaN,graph=1,spmspm=1,conv=1"])).is_err());
+        assert!(parse_args(&args(&["--scale", "la=inf,graph=1,spmspm=1,conv=1"])).is_err());
+    }
+
+    #[test]
     fn unknown_flags_are_rejected_not_treated_as_experiments() {
         let err = parse_args(&args(&["--frobnicate"])).unwrap_err();
         assert!(err.contains("unknown flag"), "{err}");
@@ -510,6 +724,12 @@ mod tests {
             "--bench-out",
             "--bench-base",
             "--resume",
+            "--serve",
+            "--submit",
+            "--serve-stats",
+            "--serve-shutdown",
+            "--serve-shards",
+            "--serve-workdir",
         ] {
             let err = parse_args(&args(&[flag])).unwrap_err();
             assert!(err.contains("needs a value"), "{flag}: {err}");
@@ -533,6 +753,49 @@ mod tests {
         assert!(parse_args(&args(&["--mem-channels", "0"])).is_err());
         assert!(parse_args(&args(&["--mem-channels", "many"])).is_err());
         assert!(parse_args(&args(&["--mem-fastforward", "maybe"])).is_err());
+        assert!(parse_args(&args(&["--serve", "a:1", "--serve-shards", "0"])).is_err());
+    }
+
+    #[test]
+    fn service_verbs_are_mutually_exclusive() {
+        let err = parse_args(&args(&["--serve", "a:1", "--submit", "b:2"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err =
+            parse_args(&args(&["--serve-stats", "a:1", "--serve-shutdown", "a:1"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn serve_takes_no_names_or_run_flags() {
+        let err = parse_args(&args(&["fig7", "--serve", "a:1"])).unwrap_err();
+        assert!(err.contains("takes no experiment names"), "{err}");
+        let err = parse_args(&args(&["--serve", "a:1", "--mem", "cycle"])).unwrap_err();
+        assert!(err.contains("takes no run flags"), "{err}");
+        let err = parse_args(&args(&["--serve-stats", "a:1", "--scale", "small"])).unwrap_err();
+        assert!(err.contains("takes no run flags"), "{err}");
+        // The serve tuning flags only mean something to a server.
+        let err = parse_args(&args(&["fig7", "--serve-shards", "2"])).unwrap_err();
+        assert!(err.contains("only apply with --serve"), "{err}");
+    }
+
+    #[test]
+    fn submit_rejects_local_recording_flags_but_keeps_run_config() {
+        let cli = parse_args(&args(&[
+            "fig7", "--submit", "a:1", "--scale", "small", "--mem", "cycle",
+        ]))
+        .unwrap();
+        assert_eq!(cli.submit.as_deref(), Some("a:1"));
+        assert_eq!(cli.mem, Some(MemTiming::CycleLevel));
+        for bad in [
+            vec!["--submit", "a:1", "--resume", "jdir"],
+            vec!["--submit", "a:1", "--bench-out", "OUT.json"],
+            vec!["--submit", "a:1", "--bench-base", "BENCH.json"],
+            vec!["--submit", "a:1", "--no-bench-out"],
+            vec!["--submit", "a:1", "--mem-fastforward", "off"],
+        ] {
+            let err = parse_args(&args(&bad)).unwrap_err();
+            assert!(err.contains("--submit cannot combine"), "{bad:?}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Blocking client for the serve protocol: one connection per request,
+//! used by `experiments --submit` and the black-box conformance tests.
+
+use crate::key::RunSpec;
+use crate::proto::{self, FrameReader, ProtoError, SubmitReply, MAGIC};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Submits one run spec and blocks until the server delivers the
+/// outcome (or relays a typed error). `timeout` bounds each socket
+/// read; `None` waits as long as the simulation takes.
+pub fn submit(
+    addr: &str,
+    spec: &RunSpec,
+    timeout: Option<Duration>,
+) -> Result<SubmitReply, ProtoError> {
+    let mut reader = send_frame(addr, &proto::format_submit(spec), timeout)?;
+    let header = reader.read_line(proto::MAX_FRAME)?;
+    let (mut reply, len) = proto::parse_submit_header(&header)?;
+    let payload = reader.read_exact_bytes(len)?;
+    reply.report = String::from_utf8(payload)
+        .map_err(|_| ProtoError::BadFrame("report payload is not UTF-8".to_string()))?;
+    Ok(reply)
+}
+
+/// Fetches the server's counters as `(name, value)` pairs in wire
+/// order.
+pub fn stats(addr: &str) -> Result<Vec<(String, u64)>, ProtoError> {
+    let mut reader = send_frame(addr, &format!("{MAGIC} STATS\n"), DEFAULT_TIMEOUT)?;
+    let line = reader.read_line(proto::MAX_FRAME)?;
+    let rest = proto::expect_ok(&line)?;
+    let mut out = Vec::new();
+    for field in rest.split(' ').filter(|t| !t.is_empty()) {
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| ProtoError::BadFrame("stats field is not key=value".to_string()))?;
+        let v = v
+            .parse::<u64>()
+            .map_err(|_| ProtoError::BadFrame(format!("stats field `{k}` is not a count")))?;
+        out.push((k.to_string(), v));
+    }
+    Ok(out)
+}
+
+/// Liveness probe: `Ok(())` once the server answers `pong`.
+pub fn ping(addr: &str) -> Result<(), ProtoError> {
+    expect_word(addr, &format!("{MAGIC} PING\n"), "pong")
+}
+
+/// Asks the server to stop accepting work and exit once in-flight jobs
+/// drain.
+pub fn shutdown(addr: &str) -> Result<(), ProtoError> {
+    expect_word(addr, &format!("{MAGIC} SHUTDOWN\n"), "bye")
+}
+
+const DEFAULT_TIMEOUT: Option<Duration> = Some(Duration::from_secs(10));
+
+/// Connects, writes one request frame, and returns the reader for the
+/// reply.
+fn send_frame(
+    addr: &str,
+    frame: &str,
+    timeout: Option<Duration>,
+) -> Result<FrameReader<TcpStream>, ProtoError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| ProtoError::Internal(format!("cannot connect to {addr}: {e}")))?;
+    let _ = stream.set_read_timeout(timeout);
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| ProtoError::Internal(format!("cannot clone the socket: {e}")))?;
+    writer
+        .write_all(frame.as_bytes())
+        .map_err(|e| ProtoError::Internal(format!("cannot send the request: {e}")))?;
+    Ok(FrameReader::new(stream))
+}
+
+fn expect_word(addr: &str, frame: &str, word: &str) -> Result<(), ProtoError> {
+    let mut reader = send_frame(addr, frame, DEFAULT_TIMEOUT)?;
+    let line = reader.read_line(proto::MAX_FRAME)?;
+    let rest = proto::expect_ok(&line)?;
+    if rest == word {
+        Ok(())
+    } else {
+        Err(ProtoError::BadFrame(format!(
+            "expected `{word}`, got `{rest}`"
+        )))
+    }
+}

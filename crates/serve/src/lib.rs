@@ -1,0 +1,45 @@
+#![deny(missing_docs)]
+
+//! # capstan-serve
+//!
+//! Simulation-as-a-service: a batched, content-addressed experiment
+//! server over plain threaded TCP (std-only — this workspace builds
+//! fully offline, so there is no async runtime and no serialization
+//! dependency; the wire protocol is newline-framed text).
+//!
+//! Capstan's simulated-cycle counts are deterministic and
+//! machine-independent — the repo pins them with golden tests and a CI
+//! bench gate — which makes experiment results *content-addressable*: a
+//! request is fully described by `(experiment, suite scale, memory
+//! configuration)`, and any two identical requests must produce
+//! byte-identical report text. The server exploits that end to end:
+//!
+//! * **Content-addressed cache** ([`key`]): every request canonicalizes
+//!   to an FNV-1a-64 key over the snapshot-codec encoding of its
+//!   experiment name, dataset fingerprint ([`capstan_bench::Suite::fingerprint`])
+//!   and memory configuration — the same hashing discipline as the
+//!   simulator's checkpoint `config_hash`. A repeated request is served
+//!   from the cache without touching a core; concurrent duplicates
+//!   coalesce onto one in-flight job.
+//! * **Batching and sharding** ([`server`]): compatible queued requests
+//!   (same scale and memory configuration) are drained into one batch,
+//!   split across worker *processes* — each a plain `experiments`
+//!   invocation with a `--resume` journal and a `--bench-out` record —
+//!   run concurrently under `capstan_par::par_map`, and their
+//!   `BENCH`-schema record groups merged via `capstan_bench::gate::merge`.
+//! * **Crash-safe workers**: each shard runs under the journal/checkpoint
+//!   machinery from the resumable-harness layer, so a killed worker is
+//!   respawned and *resumes* — journaled rows replay byte-for-byte
+//!   instead of recomputing.
+//!
+//! The `experiments` binary (which lives in this crate so it can be
+//! both the first server and the first client) exposes the whole layer
+//! as `--serve ADDR` / `--submit ADDR`; [`proto`] documents the wire
+//! format and its typed errors, and [`client`] is the blocking client
+//! used by `--submit` and the black-box conformance tests.
+
+pub mod cache;
+pub mod client;
+pub mod key;
+pub mod proto;
+pub mod server;
