@@ -323,6 +323,15 @@ impl AddressGenerator {
         self.submitted_total - self.completed_total
     }
 
+    /// Whether the burst containing `addr` is currently tracked by a
+    /// slot (open, fetching, writing back, or parked for retry) — i.e.
+    /// whether a submission to it right now would coalesce instead of
+    /// triggering a fresh DRAM fetch. Used by the multi-tenant replay
+    /// driver to attribute fetches to the submitting tenant.
+    pub fn tracks(&self, addr: u64) -> bool {
+        self.slot_of[(addr / BURST_WORDS as u64) as usize] != NO_SLOT
+    }
+
     /// Replay-driver entry point (used by the cycle-level memory mode's
     /// `MemSysSim`): submits `access` only when fewer than
     /// `max_outstanding` accesses are in flight, returning whether it

@@ -36,6 +36,23 @@
 //! `tests/determinism_golden.rs` valid under the default configuration.
 //! Paper scale is [`PAPER_CHANNELS`] (one channel per AG).
 //!
+//! # Multi-tenant traffic
+//!
+//! The driver can interleave up to [`MAX_TENANTS`] tenants' traffic
+//! ([`MemSysConfig::tenants`]): each tenant owns a private replay lane
+//! (pending counters, frozen per-class cursors, recorded replay
+//! buffers, statistics), every request tag carries the tenant id in its
+//! high bits, and completions are attributed back to their tenant for
+//! per-tenant stats ([`TenantStats`]: completion cycle, served counts,
+//! AG fetches, queue-occupancy share, latency histogram). Under
+//! [`TenantPartition::Shared`] all tenants contend for one channel
+//! array in weighted round-robin issue order; under
+//! [`TenantPartition::Dedicated`] the channels split into equal private
+//! groups, making each tenant's drain independent of its co-tenants.
+//! `tenants = 1` (the default) is bit-identical to the pre-tenancy
+//! driver — the invariant behind every committed golden pin — proven by
+//! `tests/mem_multitenant_differential.rs`.
+//!
 //! # Scattered addresses: synthetic streams or recorded vectors
 //!
 //! Scattered traffic (random reads and atomics) needs concrete
@@ -132,6 +149,78 @@ pub struct MemStats {
 /// (80 AGs, Table 7).
 pub const PAPER_CHANNELS: usize = 80;
 
+/// Hard cap on tenants sharing one driver. Small by design: the tenant
+/// id is encoded in the high bits of every request tag, and the weight
+/// table is a fixed array so [`MemSysConfig`] stays `Copy + Eq` (the
+/// persistent-driver pool in `capstan_core::perf` keys on it).
+pub const MAX_TENANTS: usize = 8;
+
+/// Identity of one tenant whose traffic is interleaved through the
+/// driver. Tenant 0 is the default: every single-tenant entry point
+/// ([`MemSysSim::add_tile`], [`MemSysSim::add_tile_recorded`]) queues
+/// for tenant 0, and a `tenants = 1` driver is bit-identical to the
+/// pre-tenancy driver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub usize);
+
+/// How the region channels are divided among tenants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TenantPartition {
+    /// Every tenant issues into one shared [`ChannelArray`] (and its
+    /// per-region AGs) in weighted round-robin order — tenants contend
+    /// for banks, rows, and AG windows exactly like co-scheduled
+    /// workloads on one memory system.
+    #[default]
+    Shared,
+    /// The channels are split into `tenants` equal private groups, one
+    /// per tenant (requires `channels % tenants == 0`). A tenant's
+    /// drain is then completely independent of its co-tenants' load —
+    /// the isolation invariant proven in
+    /// `tests/mem_multitenant_differential.rs`.
+    Dedicated,
+}
+
+/// Latency-histogram buckets in [`TenantStats::latency_hist`].
+pub const LATENCY_BUCKETS: usize = 8;
+
+/// Upper bounds (inclusive) of the first `LATENCY_BUCKETS - 1` latency
+/// buckets, in cycles; the last bucket is the overflow.
+pub const LATENCY_BUCKET_BOUNDS: [u64; LATENCY_BUCKETS - 1] = [16, 32, 64, 128, 256, 512, 1024];
+
+/// Per-tenant statistics of one cycle-level memory simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Streaming bursts queued for this tenant.
+    pub queued_stream_bursts: u64,
+    /// Random bursts queued for this tenant.
+    pub queued_random_bursts: u64,
+    /// Atomic words queued for this tenant.
+    pub queued_atomic_words: u64,
+    /// Requests accepted by the issue stage (all three classes).
+    pub submitted: u64,
+    /// Requests whose completions have been observed (channel serves
+    /// plus released AG results). After [`MemSysSim::run`] this equals
+    /// `submitted` — the per-tenant conservation invariant.
+    pub completed: u64,
+    /// AG burst fetches attributed to this tenant: accepted submissions
+    /// to bursts no AG was tracking at submission time (re-fetches
+    /// behind a racing writeback are not attributed, so the sum over
+    /// tenants is a lower bound of [`MemStats::ag_bursts_fetched`]).
+    pub ag_fetch_bursts: u64,
+    /// Sum over cycles of this tenant's outstanding requests — the
+    /// tenant's share of queue occupancy (divide by the drain cycles
+    /// for the mean).
+    pub occupancy_cycles: u64,
+    /// First cycle at which the tenant had queued traffic but nothing
+    /// pending or outstanding (0 for a tenant that queued nothing).
+    pub completion_cycle: u64,
+    /// Request-latency histogram: bucket `i < LATENCY_BUCKETS - 1`
+    /// counts completions with issue-to-completion latency `<=`
+    /// [`LATENCY_BUCKET_BOUNDS`]`[i]` (and above the previous bound);
+    /// the last bucket is the overflow.
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+}
+
 /// Configuration of the cycle-level memory driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemSysConfig {
@@ -165,6 +254,19 @@ pub struct MemSysConfig {
     /// process) overrides this field in either direction; `=0` is the
     /// escape hatch back to the per-cycle reference loop.
     pub fast_forward: bool,
+    /// Tenants whose traffic the driver interleaves (`1..=MAX_TENANTS`).
+    /// 1 — the default — is the single-tenant driver, bit-identical to
+    /// the pre-tenancy code path regardless of `partition` (one tenant
+    /// owns every channel either way).
+    pub tenants: usize,
+    /// How the region channels are divided among tenants.
+    pub partition: TenantPartition,
+    /// Issue weights of the shared-partition round-robin schedule:
+    /// tenant `t` gets `tenant_weights[t].max(1)` issue opportunities
+    /// per round. Entries beyond `tenants` are ignored; the dedicated
+    /// partition ignores the table entirely (each tenant has a private
+    /// issue budget of `issue_width / tenants`, at least 1).
+    pub tenant_weights: [u8; MAX_TENANTS],
 }
 
 impl MemSysConfig {
@@ -180,6 +282,9 @@ impl MemSysConfig {
             issue_width: 16,
             max_outstanding_atomics: 256,
             fast_forward: true,
+            tenants: 1,
+            partition: TenantPartition::Shared,
+            tenant_weights: [1; MAX_TENANTS],
         }
     }
 
@@ -188,6 +293,21 @@ impl MemSysConfig {
         MemSysConfig {
             channels: channels.max(1),
             ..MemSysConfig::for_model(model)
+        }
+    }
+
+    /// The default geometry with `channels` region channels shared (or
+    /// partitioned, per `partition`) among `tenants` tenants.
+    pub fn with_tenants(
+        model: &DramModel,
+        channels: usize,
+        tenants: usize,
+        partition: TenantPartition,
+    ) -> Self {
+        MemSysConfig {
+            tenants: tenants.clamp(1, MAX_TENANTS),
+            partition,
+            ..MemSysConfig::with_channels(model, channels)
         }
     }
 }
@@ -249,7 +369,7 @@ impl AddressStream {
 /// Version of the [`MemSysSim`] snapshot payload. Bump on any change to
 /// the serialized layout; [`MemSysSim::restore_state`] rejects every
 /// other version with [`SnapshotError::VersionMismatch`].
-pub const MEMSYS_SNAPSHOT_VERSION: u32 = 1;
+pub const MEMSYS_SNAPSHOT_VERSION: u32 = 2;
 
 /// Base byte address of the streaming region (clear of the scattered
 /// region so the two traffic classes never alias rows).
@@ -260,37 +380,64 @@ const RANDOM_REGION_BURSTS: u64 = 1 << 20;
 const RANDOM_SEED: u64 = 0x00C0_FFEE_D00D_F00D;
 /// Seed of the atomic address stream.
 const ATOMIC_SEED: u64 = 0x0A70_3A1C_5EED_0001;
+/// Per-tenant offset added to both class seeds (an arbitrary odd
+/// constant, deliberately *not* the SplitMix increment so tenant
+/// streams are not shifted copies of each other). Tenant 0's seeds are
+/// exactly the pre-tenancy seeds.
+const TENANT_SEED_STRIDE: u64 = 0xD1B5_4A32_D192_ED03;
+/// Per-tenant stride of the streaming region (64 GiB apart, so tenants'
+/// streams never alias rows). Tenant 0 streams from `STREAM_BASE`
+/// exactly as the pre-tenancy driver did.
+const TENANT_STREAM_STRIDE: u64 = 1 << 36;
+/// Bit position of the tenant id inside a request tag. The low 56 bits
+/// carry the global issue sequence number, so tenant 0's tags (and the
+/// golden-pinned completion stream) are unchanged from the pre-tenancy
+/// single-counter tags.
+const TAG_TENANT_SHIFT: u32 = 56;
+/// Mask extracting the sequence number from a tag.
+const TAG_SEQ_MASK: u64 = (1 << TAG_TENANT_SHIFT) - 1;
 
-/// The cycle-level memory-system simulator: N region channels (a
-/// [`ChannelArray`] of banked DRAM channels) for streaming and random
-/// bursts plus N per-region [`AddressGenerator`]s for atomic
-/// read-modify-writes, all ticked in lockstep. See the module docs for
-/// the topology, determinism, and allocation contracts.
+/// Streaming byte address of one tenant's next sequential burst.
+fn stream_addr(tenant: usize, cursor: u64) -> u64 {
+    STREAM_BASE + tenant as u64 * TENANT_STREAM_STRIDE + cursor * BURST_BYTES
+}
+
+/// One partition group: a [`ChannelArray`] of banked DRAM channels plus
+/// one [`AddressGenerator`] per channel of the group. The shared
+/// partition has a single group holding every channel (for one tenant
+/// this *is* the pre-tenancy topology); the dedicated partition has one
+/// group per tenant.
 #[derive(Debug)]
-pub struct MemSysSim {
+struct MemGroup {
     channels: ChannelArray,
-    /// One AG per region channel, selected by the atomic address's
-    /// region bits.
+    /// One AG per region channel of this group, selected by the atomic
+    /// address's region bits.
     ags: Vec<AddressGenerator>,
-    cfg: MemSysConfig,
+}
+
+/// Per-tenant replay state: the pending/queued counters, the frozen
+/// per-class cursors (stream cursor, synthetic PRNG states, recorded
+/// replay positions — all advancing only on acceptance, which is what
+/// keeps `can_issue`/fast-forward decidable per tenant), and the
+/// tenant's statistics. Sized once at construction; the steady-state
+/// tick loop never allocates lane state.
+#[derive(Debug)]
+struct TenantLane {
     pending_stream: u64,
     pending_random: u64,
     pending_atomic: u64,
-    total_stream: u64,
-    total_random: u64,
-    total_atomic: u64,
     stream_cursor: u64,
     /// Scattered-read address stream. Independent from the atomic
     /// stream so sweeping atomic intensity never perturbs the banked
     /// channels' traffic (monotonicity of the sweep depends on it).
     random_stream: AddressStream,
-    /// Atomic address stream over the combined
-    /// `channels x ag_region_words` region space.
+    /// Atomic address stream over the tenant's combined
+    /// `group channels x ag_region_words` region space.
     atomic_stream: AddressStream,
     /// Recorded random-read word addresses (from
-    /// [`MemSysSim::add_tile_recorded`]); when non-empty they replace
-    /// the synthetic `random_stream`, cycled to cover the full pending
-    /// count. Capacity is retained across [`MemSysSim::reset`].
+    /// [`MemSysSim::add_tile_recorded_for`]); when non-empty they
+    /// replace the synthetic `random_stream`, cycled to cover the full
+    /// pending count. Capacity is retained across [`MemSysSim::reset`].
     rec_random: Vec<u64>,
     /// Replay cursor into `rec_random` (advances only on acceptance, so
     /// a backpressured request retries the same address — the same
@@ -301,6 +448,105 @@ pub struct MemSysSim {
     rec_atomic: Vec<u64>,
     /// Replay cursor into `rec_atomic`.
     rec_atomic_pos: usize,
+    /// Requests issued but not yet completed (all three classes).
+    outstanding: u64,
+    stats: TenantStats,
+}
+
+impl TenantLane {
+    fn new(tenant: usize, group_channels: usize, cfg: &MemSysConfig) -> Self {
+        let stride = (tenant as u64).wrapping_mul(TENANT_SEED_STRIDE);
+        TenantLane {
+            pending_stream: 0,
+            pending_random: 0,
+            pending_atomic: 0,
+            stream_cursor: 0,
+            random_stream: AddressStream::new(
+                RANDOM_SEED.wrapping_add(stride),
+                RANDOM_REGION_BURSTS,
+            ),
+            atomic_stream: AddressStream::new(
+                ATOMIC_SEED.wrapping_add(stride),
+                cfg.ag_region_words as u64 * group_channels as u64,
+            ),
+            rec_random: Vec::new(),
+            rec_random_pos: 0,
+            rec_atomic: Vec::new(),
+            rec_atomic_pos: 0,
+            outstanding: 0,
+            stats: TenantStats::default(),
+        }
+    }
+
+    fn pending_total(&self) -> u64 {
+        self.pending_stream + self.pending_random + self.pending_atomic
+    }
+
+    fn queued_total(&self) -> u64 {
+        self.stats.queued_stream_bursts
+            + self.stats.queued_random_bursts
+            + self.stats.queued_atomic_words
+    }
+
+    /// Records one completion with the given issue-to-completion
+    /// latency.
+    fn note_completion(&mut self, latency: u64) {
+        self.stats.completed += 1;
+        let mut b = 0;
+        while b < LATENCY_BUCKET_BOUNDS.len() && latency > LATENCY_BUCKET_BOUNDS[b] {
+            b += 1;
+        }
+        self.stats.latency_hist[b] += 1;
+    }
+
+    /// Returns the lane to its as-constructed state without releasing
+    /// buffer capacity.
+    fn reset(&mut self) {
+        self.pending_stream = 0;
+        self.pending_random = 0;
+        self.pending_atomic = 0;
+        self.stream_cursor = 0;
+        self.random_stream.reset();
+        self.atomic_stream.reset();
+        self.rec_random.clear();
+        self.rec_random_pos = 0;
+        self.rec_atomic.clear();
+        self.rec_atomic_pos = 0;
+        self.outstanding = 0;
+        self.stats = TenantStats::default();
+    }
+}
+
+/// The cycle-level memory-system simulator: N region channels (a
+/// [`ChannelArray`] of banked DRAM channels) for streaming and random
+/// bursts plus N per-region [`AddressGenerator`]s for atomic
+/// read-modify-writes, all ticked in lockstep, optionally interleaving
+/// several tenants' traffic (see [`TenantPartition`]). See the module
+/// docs for the topology, determinism, and allocation contracts.
+#[derive(Debug)]
+pub struct MemSysSim {
+    /// Partition groups: one shared group, or one private group per
+    /// tenant under [`TenantPartition::Dedicated`].
+    groups: Vec<MemGroup>,
+    cfg: MemSysConfig,
+    /// Per-tenant replay lanes (`cfg.tenants` of them).
+    lanes: Vec<TenantLane>,
+    /// Shared-partition issue schedule: tenant `t` appears
+    /// `tenant_weights[t].max(1)` times per round. `[0]` for a
+    /// single-tenant driver, making the issue loop identical to the
+    /// pre-tenancy one.
+    schedule: Vec<u8>,
+    /// Per-tenant issue budget under the dedicated partition
+    /// (`issue_width / tenants`, at least 1; 0 only when `issue_width`
+    /// is 0).
+    dedicated_budget: usize,
+    /// Issue-cycle ring indexed by `sequence & (len - 1)`: the cycle
+    /// each in-flight request was issued, read back at completion for
+    /// the per-tenant latency histogram. Sized (power of two) above the
+    /// driver-wide outstanding-request bound so live entries never
+    /// collide.
+    lat_ring: Vec<u64>,
+    /// Global issue sequence number (the low 56 bits of every tag).
     next_tag: u64,
     /// Channel requests in flight (pushed minus completed).
     inflight: u64,
@@ -348,31 +594,63 @@ impl MemSysSim {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.channels` is zero.
+    /// Panics if `cfg.channels` is zero, `cfg.tenants` is outside
+    /// `1..=MAX_TENANTS`, or the dedicated partition cannot split the
+    /// channels evenly (`channels % tenants != 0`).
     pub fn with_config(model: DramModel, cfg: MemSysConfig) -> Self {
         assert!(cfg.channels > 0, "memory system needs at least one channel");
+        assert!(
+            (1..=MAX_TENANTS).contains(&cfg.tenants),
+            "tenants must be in 1..={MAX_TENANTS}, got {}",
+            cfg.tenants
+        );
+        let (group_count, group_channels) = match cfg.partition {
+            TenantPartition::Shared => (1, cfg.channels),
+            TenantPartition::Dedicated => {
+                assert!(
+                    cfg.channels.is_multiple_of(cfg.tenants),
+                    "dedicated partition needs channels ({}) divisible by tenants ({})",
+                    cfg.channels,
+                    cfg.tenants
+                );
+                (cfg.tenants, cfg.channels / cfg.tenants)
+            }
+        };
+        let mut schedule = Vec::new();
+        for t in 0..cfg.tenants {
+            for _ in 0..cfg.tenant_weights[t].max(1) {
+                schedule.push(t as u8);
+            }
+        }
+        // Upper bound on simultaneously outstanding requests: every
+        // bank queue full on every channel, plus every AG's atomic
+        // window, plus one issue round of slack. Live ring entries can
+        // never collide below this bound.
+        let outstanding_bound = cfg.channels * cfg.timing.banks * cfg.timing.queue_depth
+            + cfg.channels * cfg.max_outstanding_atomics as usize
+            + cfg.issue_width
+            + 64;
         MemSysSim {
-            channels: ChannelArray::new(model, cfg.timing, cfg.channels),
-            ags: (0..cfg.channels)
-                .map(|_| AddressGenerator::new(model, cfg.ag_region_words, cfg.ag_open_bursts))
+            groups: (0..group_count)
+                .map(|_| MemGroup {
+                    channels: ChannelArray::new(model, cfg.timing, group_channels),
+                    ags: (0..group_channels)
+                        .map(|_| {
+                            AddressGenerator::new(model, cfg.ag_region_words, cfg.ag_open_bursts)
+                        })
+                        .collect(),
+                })
                 .collect(),
+            lanes: (0..cfg.tenants)
+                .map(|t| TenantLane::new(t, group_channels, &cfg))
+                .collect(),
+            schedule,
+            dedicated_budget: match cfg.issue_width {
+                0 => 0,
+                w => (w / cfg.tenants).max(1),
+            },
+            lat_ring: vec![0; outstanding_bound.next_power_of_two()],
             cfg,
-            pending_stream: 0,
-            pending_random: 0,
-            pending_atomic: 0,
-            total_stream: 0,
-            total_random: 0,
-            total_atomic: 0,
-            stream_cursor: 0,
-            random_stream: AddressStream::new(RANDOM_SEED, RANDOM_REGION_BURSTS),
-            atomic_stream: AddressStream::new(
-                ATOMIC_SEED,
-                cfg.ag_region_words as u64 * cfg.channels as u64,
-            ),
-            rec_random: Vec::new(),
-            rec_random_pos: 0,
-            rec_atomic: Vec::new(),
-            rec_atomic_pos: 0,
             next_tag: 0,
             inflight: 0,
             cycles: 0,
@@ -383,6 +661,14 @@ impl MemSysSim {
         }
     }
 
+    /// The partition group owning tenant `t`'s traffic.
+    fn group_of(&self, t: usize) -> usize {
+        match self.cfg.partition {
+            TenantPartition::Shared => 0,
+            TenantPartition::Dedicated => t,
+        }
+    }
+
     /// The driver geometry.
     pub fn config(&self) -> &MemSysConfig {
         &self.cfg
@@ -390,15 +676,32 @@ impl MemSysSim {
 
     /// Queues one tile's traffic for replay with synthetic scattered
     /// addresses (unless an earlier tile already queued recorded ones —
-    /// the per-class address source is driver-wide, see
-    /// [`MemSysSim::add_tile_recorded`]).
+    /// the per-class address source is per-tenant, see
+    /// [`MemSysSim::add_tile_recorded_for`]). Single-tenant convenience
+    /// for [`MemSysSim::add_tile_for`] with tenant 0.
     pub fn add_tile(&mut self, traffic: TileTraffic) {
-        self.pending_stream += traffic.stream_bursts;
-        self.pending_random += traffic.random_bursts;
-        self.pending_atomic += traffic.atomic_words;
-        self.total_stream += traffic.stream_bursts;
-        self.total_random += traffic.random_bursts;
-        self.total_atomic += traffic.atomic_words;
+        self.add_tile_for(TenantId(0), traffic);
+    }
+
+    /// Queues one tile's traffic for replay as `tenant`'s traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant.0 >= self.config().tenants`.
+    pub fn add_tile_for(&mut self, tenant: TenantId, traffic: TileTraffic) {
+        assert!(
+            tenant.0 < self.cfg.tenants,
+            "tenant {} outside the configured {} tenants",
+            tenant.0,
+            self.cfg.tenants
+        );
+        let lane = &mut self.lanes[tenant.0];
+        lane.pending_stream += traffic.stream_bursts;
+        lane.pending_random += traffic.random_bursts;
+        lane.pending_atomic += traffic.atomic_words;
+        lane.stats.queued_stream_bursts += traffic.stream_bursts;
+        lane.stats.queued_random_bursts += traffic.random_bursts;
+        lane.stats.queued_atomic_words += traffic.atomic_words;
         self.flushed = false;
     }
 
@@ -424,29 +727,55 @@ impl MemSysSim {
     /// bit-for-bit. Buffer capacity is retained across
     /// [`MemSysSim::reset`], keeping the persistent driver's reuse
     /// path allocation-free in steady state.
+    ///
+    /// Single-tenant convenience for
+    /// [`MemSysSim::add_tile_recorded_for`] with tenant 0.
     pub fn add_tile_recorded(
         &mut self,
         traffic: TileTraffic,
         random_addrs: &[u64],
         atomic_addrs: &[u64],
     ) {
-        self.rec_random.extend_from_slice(random_addrs);
-        self.rec_atomic.extend_from_slice(atomic_addrs);
-        self.add_tile(traffic);
+        self.add_tile_recorded_for(TenantId(0), traffic, random_addrs, atomic_addrs);
+    }
+
+    /// Queues one tile's traffic plus its recorded address samples as
+    /// `tenant`'s traffic. Replay buffers are per-tenant: each tenant's
+    /// samples concatenate into that tenant's per-class buffer with the
+    /// same cycling semantics as [`MemSysSim::add_tile_recorded`], so
+    /// per-tenant replay is independent of how other tenants' tiles
+    /// interleave with this one in registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant.0 >= self.config().tenants`.
+    pub fn add_tile_recorded_for(
+        &mut self,
+        tenant: TenantId,
+        traffic: TileTraffic,
+        random_addrs: &[u64],
+        atomic_addrs: &[u64],
+    ) {
+        assert!(
+            tenant.0 < self.cfg.tenants,
+            "tenant {} outside the configured {} tenants",
+            tenant.0,
+            self.cfg.tenants
+        );
+        let lane = &mut self.lanes[tenant.0];
+        lane.rec_random.extend_from_slice(random_addrs);
+        lane.rec_atomic.extend_from_slice(atomic_addrs);
+        self.add_tile_for(tenant, traffic);
     }
 
     /// Whether every queued burst and atomic has drained (the flush
     /// rounds in [`MemSysSim::run`] may still owe dirty writebacks).
     fn drained(&self) -> bool {
-        self.pending_stream == 0
-            && self.pending_random == 0
-            && self.pending_atomic == 0
+        self.lanes.iter().all(|lane| lane.pending_total() == 0)
             && self.inflight == 0
-            && self.channels.is_idle()
-            && self
-                .ags
-                .iter()
-                .all(|ag| ag.outstanding() == 0 && ag.is_idle())
+            && self.groups.iter().all(|g| {
+                g.channels.is_idle() && g.ags.iter().all(|ag| ag.outstanding() == 0 && ag.is_idle())
+            })
     }
 
     /// Whether every queued burst and atomic has drained (including the
@@ -466,37 +795,71 @@ impl MemSysSim {
         if self.cfg.issue_width == 0 {
             return false;
         }
-        if self.pending_stream > 0
-            && self
+        (0..self.cfg.tenants).any(|t| self.tenant_can_issue(t))
+    }
+
+    /// Whether tenant `t`'s issue stage could accept at least one
+    /// request this tick (every tenant with issuable work gets at least
+    /// one opportunity per tick under both partitions, so the
+    /// driver-wide [`MemSysSim::can_issue`] is the disjunction).
+    fn tenant_can_issue(&self, t: usize) -> bool {
+        let g = self.group_of(t);
+        let lane = &self.lanes[t];
+        if lane.pending_stream > 0
+            && self.groups[g]
                 .channels
-                .can_accept(STREAM_BASE + self.stream_cursor * BURST_BYTES)
+                .can_accept(stream_addr(t, lane.stream_cursor))
         {
             return true;
         }
-        if self.pending_random > 0 {
-            let burst = match self.rec_random.is_empty() {
-                true => self.random_stream.peek(),
-                false => {
-                    let addr = self.rec_random[self.rec_random_pos % self.rec_random.len()];
-                    (addr / BURST_WORDS as u64) % RANDOM_REGION_BURSTS
-                }
-            };
-            if self.channels.can_accept(burst * BURST_BYTES) {
-                return true;
-            }
+        if lane.pending_random > 0
+            && self.groups[g]
+                .channels
+                .can_accept(self.random_burst(t) * BURST_BYTES)
+        {
+            return true;
         }
-        if self.pending_atomic > 0 {
-            let span = self.cfg.ag_region_words as u64 * self.cfg.channels as u64;
-            let word = match self.rec_atomic.is_empty() {
-                true => self.atomic_stream.peek(),
-                false => self.rec_atomic[self.rec_atomic_pos % self.rec_atomic.len()] % span,
-            };
+        if lane.pending_atomic > 0 {
+            let word = self.atomic_word(t);
             let region = (word / self.cfg.ag_region_words as u64) as usize;
-            if self.ags[region].outstanding() < self.cfg.max_outstanding_atomics {
+            if self.groups[g].ags[region].outstanding() < self.cfg.max_outstanding_atomics {
                 return true;
             }
         }
         false
+    }
+
+    /// The burst address (tenant-offset) of tenant `t`'s next random
+    /// read: the recorded sample under the replay cursor when the lane
+    /// has recordings, the synthetic stream's peek otherwise. Recorded
+    /// word addresses map to their containing burst (wrapped into the
+    /// scattered region); the synthetic stream is already
+    /// burst-granular.
+    fn random_burst(&self, t: usize) -> u64 {
+        let lane = &self.lanes[t];
+        let base = match lane.rec_random.is_empty() {
+            true => lane.random_stream.peek(),
+            false => {
+                let addr = lane.rec_random[lane.rec_random_pos % lane.rec_random.len()];
+                (addr / BURST_WORDS as u64) % RANDOM_REGION_BURSTS
+            }
+        };
+        base + t as u64 * RANDOM_REGION_BURSTS
+    }
+
+    /// The word address of tenant `t`'s next atomic, in the tenant's
+    /// combined `group channels x ag_region_words` region space (the
+    /// high region bits select the owning AG within the tenant's
+    /// group).
+    fn atomic_word(&self, t: usize) -> u64 {
+        let lane = &self.lanes[t];
+        match lane.rec_atomic.is_empty() {
+            true => lane.atomic_stream.peek(),
+            false => {
+                lane.rec_atomic[lane.rec_atomic_pos % lane.rec_atomic.len()]
+                    % lane.atomic_stream.span
+            }
+        }
     }
 
     /// Earliest future cycle at which any channel or AG could complete
@@ -506,105 +869,233 @@ impl MemSysSim {
     /// ([`MemSysSim::can_issue`] is false) every tick strictly before
     /// this cycle is inert and [`MemSysSim::step`] may jump over it.
     fn next_event(&self) -> Option<u64> {
-        let mut event = self.channels.next_event();
-        for ag in &self.ags {
-            event = match (event, ag.next_event()) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            };
+        let mut event: Option<u64> = None;
+        for group in &self.groups {
+            for e in std::iter::once(group.channels.next_event())
+                .chain(group.ags.iter().map(AddressGenerator::next_event))
+            {
+                event = match (event, e) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
         }
         event
     }
 
+    /// Tries to issue tenant `t`'s next streaming burst; returns
+    /// whether it was accepted.
+    fn try_issue_stream(&mut self, t: usize) -> bool {
+        if self.lanes[t].pending_stream == 0 {
+            return false;
+        }
+        let g = self.group_of(t);
+        let req = BurstRequest {
+            addr: stream_addr(t, self.lanes[t].stream_cursor),
+            is_write: false,
+            tag: self.next_tag | ((t as u64) << TAG_TENANT_SHIFT),
+        };
+        if self.groups[g].channels.push(req).is_err() {
+            return false;
+        }
+        let mask = self.lat_ring.len() as u64 - 1;
+        self.lat_ring[(self.next_tag & mask) as usize] = self.cycles;
+        self.next_tag += 1;
+        self.inflight += 1;
+        let lane = &mut self.lanes[t];
+        lane.stream_cursor += 1;
+        lane.pending_stream -= 1;
+        lane.outstanding += 1;
+        lane.stats.submitted += 1;
+        true
+    }
+
+    /// Tries to issue tenant `t`'s next random-read burst; returns
+    /// whether it was accepted.
+    fn try_issue_random(&mut self, t: usize) -> bool {
+        if self.lanes[t].pending_random == 0 {
+            return false;
+        }
+        let g = self.group_of(t);
+        let req = BurstRequest {
+            addr: self.random_burst(t) * BURST_BYTES,
+            is_write: false,
+            tag: self.next_tag | ((t as u64) << TAG_TENANT_SHIFT),
+        };
+        if self.groups[g].channels.push(req).is_err() {
+            return false;
+        }
+        let mask = self.lat_ring.len() as u64 - 1;
+        self.lat_ring[(self.next_tag & mask) as usize] = self.cycles;
+        self.next_tag += 1;
+        self.inflight += 1;
+        let lane = &mut self.lanes[t];
+        if lane.rec_random.is_empty() {
+            lane.random_stream.advance();
+        } else {
+            lane.rec_random_pos += 1;
+        }
+        lane.pending_random -= 1;
+        lane.outstanding += 1;
+        lane.stats.submitted += 1;
+        true
+    }
+
+    /// Tries to submit tenant `t`'s next atomic word to its region AG;
+    /// returns whether it was accepted.
+    fn try_issue_atomic(&mut self, t: usize) -> bool {
+        if self.lanes[t].pending_atomic == 0 {
+            return false;
+        }
+        // The atomic space spans the tenant's group; the high region
+        // bits select the owning AG and the low bits address into its
+        // private region. Recorded addresses wrap into the same
+        // combined space, so the steering is identical for both
+        // sources.
+        let g = self.group_of(t);
+        let word = self.atomic_word(t);
+        let region = (word / self.cfg.ag_region_words as u64) as usize;
+        let access = DramAccess {
+            addr: word % self.cfg.ag_region_words as u64,
+            op: RmwOp::AddF,
+            operand: 1.0,
+            tag: self.next_tag | ((t as u64) << TAG_TENANT_SHIFT),
+        };
+        // Fetch attribution: an accepted submission to a burst no slot
+        // tracks triggers exactly one fetch, charged to this tenant.
+        let untracked = !self.groups[g].ags[region].tracks(access.addr);
+        if !self.groups[g].ags[region].try_submit(access, self.cfg.max_outstanding_atomics) {
+            return false;
+        }
+        let mask = self.lat_ring.len() as u64 - 1;
+        self.lat_ring[(self.next_tag & mask) as usize] = self.cycles;
+        self.next_tag += 1;
+        let lane = &mut self.lanes[t];
+        if lane.rec_atomic.is_empty() {
+            lane.atomic_stream.advance();
+        } else {
+            lane.rec_atomic_pos += 1;
+        }
+        lane.pending_atomic -= 1;
+        lane.outstanding += 1;
+        lane.stats.submitted += 1;
+        lane.stats.ag_fetch_bursts += u64::from(untracked);
+        true
+    }
+
     /// Advances the memory system one cycle: issues up to `issue_width`
-    /// requests round-robin across the three traffic classes (each
-    /// request crossbar-routed to its region channel or region AG), then
-    /// ticks every channel and every AG in lockstep.
+    /// requests round-robin across tenants (per the weighted schedule
+    /// under the shared partition; per-tenant private budgets under the
+    /// dedicated one) and the three traffic classes (each request
+    /// crossbar-routed to its region channel or region AG), then ticks
+    /// every channel and every AG in lockstep, attributing completions
+    /// to tenants by the tag's tenant bits.
     pub fn tick(&mut self) {
-        let mut budget = self.cfg.issue_width;
-        let mut progress = true;
-        while budget > 0 && progress {
-            progress = false;
-            if budget > 0 && self.pending_stream > 0 {
-                let req = BurstRequest {
-                    addr: STREAM_BASE + self.stream_cursor * BURST_BYTES,
-                    is_write: false,
-                    tag: self.next_tag,
-                };
-                if self.channels.push(req).is_ok() {
-                    self.next_tag += 1;
-                    self.stream_cursor += 1;
-                    self.pending_stream -= 1;
-                    self.inflight += 1;
-                    budget -= 1;
-                    progress = true;
+        match self.cfg.partition {
+            TenantPartition::Shared => {
+                let mut budget = self.cfg.issue_width;
+                let mut progress = true;
+                while budget > 0 && progress {
+                    progress = false;
+                    for i in 0..self.schedule.len() {
+                        if budget == 0 {
+                            break;
+                        }
+                        let t = self.schedule[i] as usize;
+                        if self.try_issue_stream(t) {
+                            budget -= 1;
+                            progress = true;
+                        }
+                        if budget == 0 {
+                            break;
+                        }
+                        if self.try_issue_random(t) {
+                            budget -= 1;
+                            progress = true;
+                        }
+                        if budget == 0 {
+                            break;
+                        }
+                        if self.try_issue_atomic(t) {
+                            budget -= 1;
+                            progress = true;
+                        }
+                    }
                 }
             }
-            if budget > 0 && self.pending_random > 0 {
-                // Recorded word addresses map to their containing burst
-                // (wrapped into the scattered region); the synthetic
-                // stream is already burst-granular.
-                let burst = match self.rec_random.is_empty() {
-                    true => self.random_stream.peek(),
-                    false => {
-                        let addr = self.rec_random[self.rec_random_pos % self.rec_random.len()];
-                        (addr / BURST_WORDS as u64) % RANDOM_REGION_BURSTS
+            TenantPartition::Dedicated => {
+                // Each tenant's subsystem (lane + private group) is
+                // closed under the dedicated partition, so the
+                // per-tenant loops commute — tenant order cannot change
+                // any tenant's behavior.
+                for t in 0..self.cfg.tenants {
+                    let mut budget = self.dedicated_budget;
+                    let mut progress = true;
+                    while budget > 0 && progress {
+                        progress = false;
+                        if self.try_issue_stream(t) {
+                            budget -= 1;
+                            progress = true;
+                        }
+                        if budget == 0 {
+                            break;
+                        }
+                        if self.try_issue_random(t) {
+                            budget -= 1;
+                            progress = true;
+                        }
+                        if budget == 0 {
+                            break;
+                        }
+                        if self.try_issue_atomic(t) {
+                            budget -= 1;
+                            progress = true;
+                        }
                     }
-                };
-                let req = BurstRequest {
-                    addr: burst * BURST_BYTES,
-                    is_write: false,
-                    tag: self.next_tag,
-                };
-                if self.channels.push(req).is_ok() {
-                    if self.rec_random.is_empty() {
-                        self.random_stream.advance();
-                    } else {
-                        self.rec_random_pos += 1;
-                    }
-                    self.next_tag += 1;
-                    self.pending_random -= 1;
-                    self.inflight += 1;
-                    budget -= 1;
-                    progress = true;
-                }
-            }
-            if budget > 0 && self.pending_atomic > 0 {
-                // The atomic space spans all regions; the high region
-                // bits select the owning AG and the low bits address
-                // into its private region. Recorded addresses wrap into
-                // the same combined space, so the steering is identical
-                // for both sources.
-                let span = self.cfg.ag_region_words as u64 * self.cfg.channels as u64;
-                let word = match self.rec_atomic.is_empty() {
-                    true => self.atomic_stream.peek(),
-                    false => self.rec_atomic[self.rec_atomic_pos % self.rec_atomic.len()] % span,
-                };
-                let region = (word / self.cfg.ag_region_words as u64) as usize;
-                let access = DramAccess {
-                    addr: word % self.cfg.ag_region_words as u64,
-                    op: RmwOp::AddF,
-                    operand: 1.0,
-                    tag: self.next_tag,
-                };
-                if self.ags[region].try_submit(access, self.cfg.max_outstanding_atomics) {
-                    if self.rec_atomic.is_empty() {
-                        self.atomic_stream.advance();
-                    } else {
-                        self.rec_atomic_pos += 1;
-                    }
-                    self.next_tag += 1;
-                    self.pending_atomic -= 1;
-                    budget -= 1;
-                    progress = true;
                 }
             }
         }
-        self.inflight -= self.channels.tick().len() as u64;
-        for ag in &mut self.ags {
-            let _ = ag.tick();
+        self.complete_and_advance();
+    }
+
+    /// Ticks every channel and AG, attributes their completions to
+    /// tenants, and advances the cycle (with the per-tenant occupancy
+    /// and completion-cycle accounting).
+    fn complete_and_advance(&mut self) {
+        let now = self.cycles;
+        let mask = self.lat_ring.len() as u64 - 1;
+        for g in 0..self.groups.len() {
+            let group = &mut self.groups[g];
+            for c in group.channels.tick() {
+                let t = (c.tag >> TAG_TENANT_SHIFT) as usize;
+                let issued = self.lat_ring[((c.tag & TAG_SEQ_MASK) & mask) as usize];
+                let lane = &mut self.lanes[t];
+                lane.note_completion((now + 1).saturating_sub(issued));
+                lane.outstanding -= 1;
+                self.inflight -= 1;
+            }
+            for a in 0..group.ags.len() {
+                for r in group.ags[a].tick() {
+                    let t = (r.tag >> TAG_TENANT_SHIFT) as usize;
+                    let issued = self.lat_ring[((r.tag & TAG_SEQ_MASK) & mask) as usize];
+                    let lane = &mut self.lanes[t];
+                    lane.note_completion((now + 1).saturating_sub(issued));
+                    lane.outstanding -= 1;
+                }
+            }
         }
         self.cycles += 1;
+        let cycle_now = self.cycles;
+        for lane in &mut self.lanes {
+            lane.stats.occupancy_cycles += lane.outstanding;
+            if lane.stats.completion_cycle == 0
+                && lane.queued_total() > 0
+                && lane.pending_total() == 0
+                && lane.outstanding == 0
+            {
+                lane.stats.completion_cycle = cycle_now;
+            }
+        }
     }
 
     /// Drains every queued burst and atomic (and the AGs' dirty flush)
@@ -667,10 +1158,16 @@ impl MemSysSim {
                 // channel backpressure (they stay `Open { dirty }`), so
                 // a single round is not guaranteed to drain a dirty set
                 // larger than the channel queue.
-                for ag in &mut self.ags {
-                    ag.flush();
+                for group in &mut self.groups {
+                    for ag in &mut group.ags {
+                        ag.flush();
+                    }
                 }
-                if self.ags.iter().all(AddressGenerator::is_idle) {
+                if self
+                    .groups
+                    .iter()
+                    .all(|g| g.ags.iter().all(AddressGenerator::is_idle))
+                {
                     self.flushed = true;
                     return true;
                 }
@@ -685,9 +1182,18 @@ impl MemSysSim {
                     // per-cycle tick is the one that completes it.
                     let jump = (event - 1).saturating_sub(self.cycles).min(remaining);
                     if jump > 0 {
-                        self.channels.fast_forward(jump);
-                        for ag in &mut self.ags {
-                            ag.fast_forward(jump);
+                        for group in &mut self.groups {
+                            group.channels.fast_forward(jump);
+                            for ag in &mut group.ags {
+                                ag.fast_forward(jump);
+                            }
+                        }
+                        // Jumped stretches are inert (no issues, no
+                        // completions), so every tenant's outstanding
+                        // count is frozen: the per-cycle loop would add
+                        // it once per jumped tick.
+                        for lane in &mut self.lanes {
+                            lane.stats.occupancy_cycles += lane.outstanding * jump;
                         }
                         self.cycles += jump;
                         remaining -= jump;
@@ -731,40 +1237,89 @@ impl MemSysSim {
     /// Forward-progress fingerprint for the deadlock check.
     fn watermark(&self) -> (u64, u64, u64) {
         (
-            self.channels.served(),
-            self.ags.iter().map(AddressGenerator::completed).sum(),
-            self.pending_stream + self.pending_random + self.pending_atomic,
+            self.groups.iter().map(|g| g.channels.served()).sum(),
+            self.groups
+                .iter()
+                .flat_map(|g| g.ags.iter().map(AddressGenerator::completed))
+                .sum(),
+            self.lanes.iter().map(TenantLane::pending_total).sum(),
         )
     }
 
     /// Statistics so far, rolled up across every region channel and AG
-    /// (complete after [`MemSysSim::run`] returns).
+    /// of every partition group (complete after [`MemSysSim::run`]
+    /// returns).
     pub fn stats(&self) -> MemStats {
-        let b = self.channels.stats();
+        let mut b = BankedStats::default();
+        for group in &self.groups {
+            let s = group.channels.stats();
+            b.served += s.served;
+            b.row_hits += s.row_hits;
+            b.row_conflicts += s.row_conflicts;
+            b.row_opens += s.row_opens;
+            b.contention_cycles += s.contention_cycles;
+            b.bank_busy_cycles += s.bank_busy_cycles;
+            b.peak_bank_queue = b.peak_bank_queue.max(s.peak_bank_queue);
+        }
         MemStats {
             cycles: self.cycles,
             channels: self.cfg.channels as u64,
-            stream_bursts: self.total_stream,
-            random_bursts: self.total_random,
-            atomic_words: self.total_atomic,
+            stream_bursts: self
+                .lanes
+                .iter()
+                .map(|l| l.stats.queued_stream_bursts)
+                .sum(),
+            random_bursts: self
+                .lanes
+                .iter()
+                .map(|l| l.stats.queued_random_bursts)
+                .sum(),
+            atomic_words: self.lanes.iter().map(|l| l.stats.queued_atomic_words).sum(),
             row_hits: b.row_hits,
             row_conflicts: b.row_conflicts,
             contention_cycles: b.contention_cycles,
             bank_busy_cycles: b.bank_busy_cycles,
             peak_bank_queue: b.peak_bank_queue as u64,
-            ag_bursts_fetched: self.ags.iter().map(AddressGenerator::bursts_fetched).sum(),
-            ag_bursts_written: self.ags.iter().map(AddressGenerator::bursts_written).sum(),
+            ag_bursts_fetched: self
+                .groups
+                .iter()
+                .flat_map(|g| g.ags.iter().map(AddressGenerator::bursts_fetched))
+                .sum(),
+            ag_bursts_written: self
+                .groups
+                .iter()
+                .flat_map(|g| g.ags.iter().map(AddressGenerator::bursts_written))
+                .sum(),
         }
     }
 
+    /// Number of tenants the driver was configured with.
+    pub fn tenants(&self) -> usize {
+        self.cfg.tenants
+    }
+
+    /// Statistics of one tenant (complete after [`MemSysSim::run`]
+    /// returns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant.0 >= self.config().tenants`.
+    pub fn tenant_stats(&self, tenant: TenantId) -> TenantStats {
+        self.lanes[tenant.0].stats
+    }
+
     /// Statistics of one region channel (the un-rolled-up view; `i` is
-    /// the crossbar's channel index).
+    /// the global channel index: under the dedicated partition, tenant
+    /// `t`'s channels occupy indices `t * (channels / tenants) ..`).
     ///
     /// # Panics
     ///
     /// Panics if `i >= self.config().channels`.
     pub fn channel_stats(&self, i: usize) -> BankedStats {
-        self.channels.channel_stats(i)
+        let per_group = self.groups[0].channels.channels();
+        self.groups[i / per_group]
+            .channels
+            .channel_stats(i % per_group)
     }
 
     /// Current cycle.
@@ -776,12 +1331,18 @@ impl MemSysSim {
     /// conservation counterpart of [`MemStats::atomic_words`]: after
     /// [`MemSysSim::run`] the two must agree).
     pub fn ag_submitted(&self) -> u64 {
-        self.ags.iter().map(AddressGenerator::submitted).sum()
+        self.groups
+            .iter()
+            .flat_map(|g| g.ags.iter().map(AddressGenerator::submitted))
+            .sum()
     }
 
     /// Atomic accesses whose results the per-region AGs have released.
     pub fn ag_completed(&self) -> u64 {
-        self.ags.iter().map(AddressGenerator::completed).sum()
+        self.groups
+            .iter()
+            .flat_map(|g| g.ags.iter().map(AddressGenerator::completed))
+            .sum()
     }
 
     /// Returns the driver to its as-constructed state — empty channels,
@@ -797,23 +1358,16 @@ impl MemSysSim {
     /// allocation-free — both proven in
     /// `crates/arch/tests/alloc_free.rs`.
     pub fn reset(&mut self) {
-        self.channels.reset();
-        for ag in &mut self.ags {
-            ag.reset();
+        for group in &mut self.groups {
+            group.channels.reset();
+            for ag in &mut group.ags {
+                ag.reset();
+            }
         }
-        self.pending_stream = 0;
-        self.pending_random = 0;
-        self.pending_atomic = 0;
-        self.total_stream = 0;
-        self.total_random = 0;
-        self.total_atomic = 0;
-        self.stream_cursor = 0;
-        self.random_stream.reset();
-        self.atomic_stream.reset();
-        self.rec_random.clear();
-        self.rec_random_pos = 0;
-        self.rec_atomic.clear();
-        self.rec_atomic_pos = 0;
+        for lane in &mut self.lanes {
+            lane.reset();
+        }
+        self.lat_ring.fill(0);
         self.next_tag = 0;
         self.inflight = 0;
         self.cycles = 0;
@@ -832,7 +1386,7 @@ impl MemSysSim {
     /// fast-forward resumes under per-cycle ticking and vice versa).
     pub fn config_hash(&self) -> u64 {
         let mut w = SnapshotWriter::new();
-        w.write_u64(self.channels.model().fingerprint());
+        w.write_u64(self.groups[0].channels.model().fingerprint());
         w.write_len(self.cfg.timing.banks);
         w.write_len(self.cfg.timing.queue_depth);
         w.write_u64(self.cfg.timing.cas_latency);
@@ -842,6 +1396,14 @@ impl MemSysSim {
         w.write_len(self.cfg.ag_open_bursts);
         w.write_len(self.cfg.issue_width);
         w.write_u64(self.cfg.max_outstanding_atomics);
+        w.write_len(self.cfg.tenants);
+        w.write_u8(match self.cfg.partition {
+            TenantPartition::Shared => 0,
+            TenantPartition::Dedicated => 1,
+        });
+        for &weight in &self.cfg.tenant_weights {
+            w.write_u8(weight);
+        }
         snapshot::fnv1a_64(w.as_bytes())
     }
 
@@ -854,33 +1416,56 @@ impl MemSysSim {
     /// stopped (proven in `tests/snapshot_resume.rs`).
     pub fn save_state(&self) -> Vec<u8> {
         let mut w = SnapshotWriter::new();
-        self.channels.save_state(&mut w);
-        for ag in &self.ags {
-            ag.save_state(&mut w);
+        for group in &self.groups {
+            group.channels.save_state(&mut w);
+            for ag in &group.ags {
+                ag.save_state(&mut w);
+            }
         }
-        w.write_u64(self.pending_stream);
-        w.write_u64(self.pending_random);
-        w.write_u64(self.pending_atomic);
-        w.write_u64(self.total_stream);
-        w.write_u64(self.total_random);
-        w.write_u64(self.total_atomic);
-        w.write_u64(self.stream_cursor);
-        // Stream seeds and spans are construction constants covered by
-        // the config hash; only the advancing PRNG state is live.
-        w.write_u64(self.random_stream.state);
-        w.write_u64(self.atomic_stream.state);
-        w.write_len(self.rec_random.len());
-        for &a in &self.rec_random {
-            w.write_u64(a);
+        for lane in &self.lanes {
+            w.write_u64(lane.pending_stream);
+            w.write_u64(lane.pending_random);
+            w.write_u64(lane.pending_atomic);
+            w.write_u64(lane.stream_cursor);
+            // Stream seeds and spans are construction constants covered
+            // by the config hash; only the advancing PRNG state is
+            // live.
+            w.write_u64(lane.random_stream.state);
+            w.write_u64(lane.atomic_stream.state);
+            w.write_len(lane.rec_random.len());
+            for &a in &lane.rec_random {
+                w.write_u64(a);
+            }
+            // The replay cursors grow without bound (they index modulo
+            // the buffer length), so they are plain u64s, not bounded
+            // lengths.
+            w.write_u64(lane.rec_random_pos as u64);
+            w.write_len(lane.rec_atomic.len());
+            for &a in &lane.rec_atomic {
+                w.write_u64(a);
+            }
+            w.write_u64(lane.rec_atomic_pos as u64);
+            w.write_u64(lane.outstanding);
+            w.write_u64(lane.stats.queued_stream_bursts);
+            w.write_u64(lane.stats.queued_random_bursts);
+            w.write_u64(lane.stats.queued_atomic_words);
+            w.write_u64(lane.stats.submitted);
+            w.write_u64(lane.stats.completed);
+            w.write_u64(lane.stats.ag_fetch_bursts);
+            w.write_u64(lane.stats.occupancy_cycles);
+            w.write_u64(lane.stats.completion_cycle);
+            for &bucket in &lane.stats.latency_hist {
+                w.write_u64(bucket);
+            }
         }
-        // The replay cursors grow without bound (they index modulo the
-        // buffer length), so they are plain u64s, not bounded lengths.
-        w.write_u64(self.rec_random_pos as u64);
-        w.write_len(self.rec_atomic.len());
-        for &a in &self.rec_atomic {
-            w.write_u64(a);
+        // The latency ring holds the issue cycles of in-flight
+        // requests; its length is fixed by the config, so only the
+        // contents are live (the length is still written as a framing
+        // check).
+        w.write_len(self.lat_ring.len());
+        for &cycle in &self.lat_ring {
+            w.write_u64(cycle);
         }
-        w.write_u64(self.rec_atomic_pos as u64);
         w.write_u64(self.next_tag);
         w.write_u64(self.inflight);
         w.write_u64(self.cycles);
@@ -901,31 +1486,50 @@ impl MemSysSim {
     pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
         let payload = snapshot::open(bytes, MEMSYS_SNAPSHOT_VERSION, self.config_hash())?;
         let mut r = SnapshotReader::new(payload);
-        self.channels.restore_state(&mut r)?;
-        for ag in &mut self.ags {
-            ag.restore_state(&mut r)?;
+        for group in &mut self.groups {
+            group.channels.restore_state(&mut r)?;
+            for ag in &mut group.ags {
+                ag.restore_state(&mut r)?;
+            }
         }
-        self.pending_stream = r.read_u64()?;
-        self.pending_random = r.read_u64()?;
-        self.pending_atomic = r.read_u64()?;
-        self.total_stream = r.read_u64()?;
-        self.total_random = r.read_u64()?;
-        self.total_atomic = r.read_u64()?;
-        self.stream_cursor = r.read_u64()?;
-        self.random_stream.state = r.read_u64()?;
-        self.atomic_stream.state = r.read_u64()?;
-        let n_random = r.read_len()?;
-        self.rec_random.clear();
-        for _ in 0..n_random {
-            self.rec_random.push(r.read_u64()?);
+        for lane in &mut self.lanes {
+            lane.pending_stream = r.read_u64()?;
+            lane.pending_random = r.read_u64()?;
+            lane.pending_atomic = r.read_u64()?;
+            lane.stream_cursor = r.read_u64()?;
+            lane.random_stream.state = r.read_u64()?;
+            lane.atomic_stream.state = r.read_u64()?;
+            let n_random = r.read_len()?;
+            lane.rec_random.clear();
+            for _ in 0..n_random {
+                lane.rec_random.push(r.read_u64()?);
+            }
+            lane.rec_random_pos = r.read_u64()? as usize;
+            let n_atomic = r.read_len()?;
+            lane.rec_atomic.clear();
+            for _ in 0..n_atomic {
+                lane.rec_atomic.push(r.read_u64()?);
+            }
+            lane.rec_atomic_pos = r.read_u64()? as usize;
+            lane.outstanding = r.read_u64()?;
+            lane.stats.queued_stream_bursts = r.read_u64()?;
+            lane.stats.queued_random_bursts = r.read_u64()?;
+            lane.stats.queued_atomic_words = r.read_u64()?;
+            lane.stats.submitted = r.read_u64()?;
+            lane.stats.completed = r.read_u64()?;
+            lane.stats.ag_fetch_bursts = r.read_u64()?;
+            lane.stats.occupancy_cycles = r.read_u64()?;
+            lane.stats.completion_cycle = r.read_u64()?;
+            for bucket in &mut lane.stats.latency_hist {
+                *bucket = r.read_u64()?;
+            }
         }
-        self.rec_random_pos = r.read_u64()? as usize;
-        let n_atomic = r.read_len()?;
-        self.rec_atomic.clear();
-        for _ in 0..n_atomic {
-            self.rec_atomic.push(r.read_u64()?);
+        if r.read_len()? != self.lat_ring.len() {
+            return Err(SnapshotError::Malformed("latency ring length differs"));
         }
-        self.rec_atomic_pos = r.read_u64()? as usize;
+        for cycle in &mut self.lat_ring {
+            *cycle = r.read_u64()?;
+        }
         self.next_tag = r.read_u64()?;
         self.inflight = r.read_u64()?;
         self.cycles = r.read_u64()?;
@@ -1259,7 +1863,7 @@ mod tests {
             sim.add_tile(traffic);
             let first = sim.run();
             sim.reset();
-            assert!(sim.cycle() == 0 && sim.channels.is_idle());
+            assert!(sim.cycle() == 0 && sim.groups.iter().all(|g| g.channels.is_idle()));
             sim.add_tile(traffic);
             let second = sim.run();
             assert_eq!(
@@ -1377,5 +1981,199 @@ mod tests {
         // And the pristine bytes still restore.
         target.reset();
         target.restore_state(&bytes).expect("pristine restore");
+    }
+
+    // --- Multi-tenant ---------------------------------------------------
+
+    #[test]
+    fn an_empty_co_tenant_changes_nothing() {
+        // A second tenant with no traffic must leave the first tenant's
+        // replay bit-identical to a single-tenant run: tenant 1's lane
+        // is skipped by every issue attempt, so the attempt sequence —
+        // and therefore every issued address and cycle — is unchanged.
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let traffic = TileTraffic {
+            stream_bursts: 600,
+            random_bursts: 400,
+            atomic_words: 300,
+        };
+        let alone = run(model, traffic);
+        let mut sim = MemSysSim::with_config(
+            model,
+            MemSysConfig::with_tenants(&model, 1, 2, TenantPartition::Shared),
+        );
+        sim.add_tile_for(TenantId(0), traffic);
+        let with_ghost = sim.run();
+        assert_eq!(with_ghost, alone);
+        let t0 = sim.tenant_stats(TenantId(0));
+        let t1 = sim.tenant_stats(TenantId(1));
+        assert_eq!(t0.submitted, t0.completed);
+        assert_eq!(t1, TenantStats::default());
+    }
+
+    #[test]
+    fn per_tenant_words_are_conserved() {
+        let model = DramModel::new(MemoryKind::Ddr4);
+        let mut sim = MemSysSim::with_config(
+            model,
+            MemSysConfig::with_tenants(&model, 2, 2, TenantPartition::Shared),
+        );
+        let a = TileTraffic {
+            stream_bursts: 300,
+            random_bursts: 200,
+            atomic_words: 500,
+        };
+        let b = TileTraffic {
+            stream_bursts: 900,
+            random_bursts: 10,
+            atomic_words: 0,
+        };
+        sim.add_tile_for(TenantId(0), a);
+        sim.add_tile_for(TenantId(1), b);
+        sim.run();
+        for (t, traffic) in [(0usize, a), (1, b)] {
+            let s = sim.tenant_stats(TenantId(t));
+            assert_eq!(
+                s.submitted,
+                traffic.stream_bursts + traffic.random_bursts + traffic.atomic_words,
+                "tenant {t} submitted"
+            );
+            assert_eq!(s.submitted, s.completed, "tenant {t} conservation");
+            assert_eq!(
+                s.latency_hist.iter().sum::<u64>(),
+                s.completed,
+                "tenant {t} histogram mass"
+            );
+            assert!(s.completion_cycle > 0);
+            assert!(s.occupancy_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn weights_shift_completion_toward_the_heavy_tenant() {
+        // Two tenants with identical traffic on shared channels: giving
+        // tenant 0 a much larger issue weight must finish it no later
+        // than under equal weights.
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let traffic = TileTraffic {
+            random_bursts: 3000,
+            ..Default::default()
+        };
+        let done_with = |w0: u8, w1: u8| {
+            let mut cfg = MemSysConfig::with_tenants(&model, 1, 2, TenantPartition::Shared);
+            cfg.tenant_weights[0] = w0;
+            cfg.tenant_weights[1] = w1;
+            let mut sim = MemSysSim::with_config(model, cfg);
+            sim.add_tile_for(TenantId(0), traffic);
+            sim.add_tile_for(TenantId(1), traffic);
+            sim.run();
+            (
+                sim.tenant_stats(TenantId(0)).completion_cycle,
+                sim.tenant_stats(TenantId(1)).completion_cycle,
+            )
+        };
+        let (eq0, _) = done_with(1, 1);
+        let (heavy0, heavy1) = done_with(6, 1);
+        assert!(
+            heavy0 <= eq0,
+            "weighted tenant finished later: {heavy0} > {eq0}"
+        );
+        assert!(
+            heavy0 <= heavy1,
+            "the 6:1 tenant must not finish after the 1:6 one"
+        );
+    }
+
+    #[test]
+    fn dedicated_partitions_isolate_a_tenant_from_co_tenant_load() {
+        // Under `Dedicated`, each tenant owns a private channel group,
+        // so tenant 0's entire per-tenant stat block is independent of
+        // what tenant 1 runs.
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let mine = TileTraffic {
+            stream_bursts: 400,
+            random_bursts: 300,
+            atomic_words: 200,
+        };
+        let run_against = |other: TileTraffic| {
+            let mut sim = MemSysSim::with_config(
+                model,
+                MemSysConfig::with_tenants(&model, 2, 2, TenantPartition::Dedicated),
+            );
+            sim.add_tile_for(TenantId(0), mine);
+            sim.add_tile_for(TenantId(1), other);
+            sim.run();
+            sim.tenant_stats(TenantId(0))
+        };
+        let vs_idle = run_against(TileTraffic::default());
+        let vs_flood = run_against(TileTraffic {
+            stream_bursts: 5000,
+            random_bursts: 5000,
+            atomic_words: 5000,
+        });
+        assert_eq!(vs_idle, vs_flood);
+    }
+
+    #[test]
+    fn multi_tenant_save_mid_run_restores_identically() {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let a = TileTraffic {
+            stream_bursts: 500,
+            random_bursts: 400,
+            atomic_words: 600,
+        };
+        let b = TileTraffic {
+            stream_bursts: 900,
+            random_bursts: 100,
+            atomic_words: 50,
+        };
+        for partition in [TenantPartition::Shared, TenantPartition::Dedicated] {
+            let cfg = MemSysConfig::with_tenants(&model, 2, 2, partition);
+            let mut reference = MemSysSim::with_config(model, cfg);
+            reference.add_tile_for(TenantId(0), a);
+            reference.add_tile_for(TenantId(1), b);
+            let want = reference.run();
+            let want_t: Vec<TenantStats> = (0..2)
+                .map(|t| reference.tenant_stats(TenantId(t)))
+                .collect();
+            let mut original = MemSysSim::with_config(model, cfg);
+            original.add_tile_for(TenantId(0), a);
+            original.add_tile_for(TenantId(1), b);
+            assert!(!original.step(want.cycles / 2), "cut point must be mid-run");
+            let bytes = original.save_state();
+            let mut restored = MemSysSim::with_config(model, cfg);
+            restored.restore_state(&bytes).expect("restore");
+            let got = restored.run();
+            assert_eq!(got, want, "{partition:?} resumed run diverged");
+            let got_t: Vec<TenantStats> =
+                (0..2).map(|t| restored.tenant_stats(TenantId(t))).collect();
+            assert_eq!(got_t, want_t, "{partition:?} per-tenant stats diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tenants must be in")]
+    fn zero_tenants_is_rejected() {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let mut cfg = MemSysConfig::for_model(&model);
+        cfg.tenants = 0;
+        let _ = MemSysSim::with_config(model, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "tenants must be in")]
+    fn too_many_tenants_is_rejected() {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let mut cfg = MemSysConfig::for_model(&model);
+        cfg.tenants = MAX_TENANTS + 1;
+        let _ = MemSysSim::with_config(model, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "dedicated partition needs")]
+    fn dedicated_partitioning_requires_divisible_channels() {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let cfg = MemSysConfig::with_tenants(&model, 3, 2, TenantPartition::Dedicated);
+        let _ = MemSysSim::with_config(model, cfg);
     }
 }

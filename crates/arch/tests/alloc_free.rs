@@ -34,7 +34,7 @@
 //! `#[global_allocator]` is process-wide.
 
 use capstan_arch::ag::{AddressGenerator, DramAccess, BURST_WORDS};
-use capstan_arch::memdrv::{MemSysConfig, MemSysSim, TileTraffic};
+use capstan_arch::memdrv::{MemSysConfig, MemSysSim, TenantId, TenantPartition, TileTraffic};
 use capstan_arch::shuffle::{
     ButterflyNetwork, MergeShift, RouteScratch, ShuffleConfig, ShuffleEntry, ShuffleVector,
 };
@@ -386,6 +386,100 @@ fn memsys_recorded_replay_is_allocation_free() {
         );
         assert!(stats.ag_bursts_written > 0, "writeback path not exercised");
     }
+}
+
+#[test]
+fn memsys_multi_tenant_tick_is_allocation_free() {
+    // The tenant layer adds per-tenant lanes, the weighted round-robin
+    // schedule, the latency-attribution ring, and per-tenant stat
+    // blocks; all of it is sized at construction (or warmed with the
+    // replay buffers), so interleaving tenants must not reopen the
+    // heap in steady state — shared and dedicated alike.
+    for (tenants, channels, partition) in [
+        (2usize, 1usize, TenantPartition::Shared),
+        (2, 4, TenantPartition::Dedicated),
+        (3, 3, TenantPartition::Dedicated),
+    ] {
+        let model = DramModel::new(MemoryKind::Hbm2e);
+        let cfg = MemSysConfig::with_tenants(&model, channels, tenants, partition);
+        let mut sim = MemSysSim::with_config(model, cfg);
+        for t in 0..tenants {
+            sim.add_tile_for(
+                TenantId(t),
+                TileTraffic {
+                    stream_bursts: 200_000,
+                    random_bursts: 200_000,
+                    atomic_words: 200_000,
+                },
+            );
+        }
+        // Longer warm-up than the single-tenant test: the interleaving
+        // divides each tenant's issue rate, so the AGs' stochastic
+        // high-water marks (waiter arenas, retry buffers) are reached
+        // proportionally later.
+        for _ in 0..120_000 {
+            sim.tick();
+        }
+        let before = allocations();
+        for _ in 0..10_000 {
+            sim.tick();
+        }
+        let during = allocations() - before;
+        assert_eq!(
+            during, 0,
+            "{partition:?}/{tenants}t/{channels}ch: {during} heap allocations \
+             in 10k steady-state multi-tenant cycles"
+        );
+    }
+}
+
+#[test]
+fn memsys_multi_tenant_reset_and_rerun_is_allocation_free() {
+    // The persistent-pool reuse contract extends to tenant-tagged
+    // traffic: after warm-up, a reset → per-tenant re-add → full drain
+    // round trip must stay off the heap, and per-tenant stats must
+    // reproduce the warm-up run exactly.
+    let model = DramModel::new(MemoryKind::Hbm2e);
+    let cfg = MemSysConfig::with_tenants(&model, 2, 2, TenantPartition::Shared);
+    let mut sim = MemSysSim::with_config(model, cfg);
+    let batch = |t: usize| TileTraffic {
+        stream_bursts: 1_500 + 500 * t as u64,
+        random_bursts: 2_000,
+        atomic_words: 6_000 + 1_000 * t as u64,
+    };
+    let mut golden = None;
+    for _ in 0..2 {
+        sim.reset();
+        for t in 0..2 {
+            sim.add_tile_for(TenantId(t), batch(t));
+        }
+        let stats = sim.run();
+        golden = Some((
+            stats,
+            sim.tenant_stats(TenantId(0)),
+            sim.tenant_stats(TenantId(1)),
+        ));
+    }
+    let before = allocations();
+    sim.reset();
+    for t in 0..2 {
+        sim.add_tile_for(TenantId(t), batch(t));
+    }
+    let stats = sim.run();
+    assert_eq!(
+        allocations() - before,
+        0,
+        "multi-tenant reset + replay allocated after warm-up"
+    );
+    assert_eq!(
+        Some((
+            stats,
+            sim.tenant_stats(TenantId(0)),
+            sim.tenant_stats(TenantId(1))
+        )),
+        golden,
+        "reused multi-tenant driver diverged from its warm-up run"
+    );
 }
 
 #[test]

@@ -12,7 +12,9 @@
 //! if a restored continuation diverged by even one cycle, a resumed
 //! sweep could not byte-diff clean against an uninterrupted one.
 
-use capstan_arch::memdrv::{MemStats, MemSysConfig, MemSysSim, TileTraffic};
+use capstan_arch::memdrv::{
+    MemStats, MemSysConfig, MemSysSim, TenantId, TenantPartition, TenantStats, TileTraffic,
+};
 use capstan_sim::dram::{DramModel, MemoryKind};
 use proptest::prelude::*;
 
@@ -79,6 +81,70 @@ fn resume_is_bit_identical_at_three_cut_points_per_config() {
             for quarter in [1u64, 2, 3] {
                 prove_cut(channels, traffic, recorded, total * quarter / 4);
             }
+        }
+    }
+}
+
+/// Builds a multi-tenant driver: tenant `t` gets one tile with a mix
+/// skewed by `t` so the tenant scheduler has real arbitration to do.
+fn build_tenants(tenants: usize, channels: usize, partition: TenantPartition) -> MemSysSim {
+    let model = DramModel::new(MemoryKind::Hbm2e);
+    let cfg = MemSysConfig::with_tenants(&model, channels, tenants, partition);
+    let mut sim = MemSysSim::with_config(model, cfg);
+    for t in 0..tenants {
+        sim.add_tile_for(
+            TenantId(t),
+            TileTraffic {
+                stream_bursts: 350 + 120 * t as u64,
+                random_bursts: 250_u64.saturating_sub(70 * t as u64),
+                atomic_words: 400 + 53 * t as u64,
+            },
+        );
+    }
+    sim
+}
+
+#[test]
+fn multi_tenant_resume_is_bit_identical_at_quarter_cuts() {
+    // The v2 snapshot carries per-tenant cursors, the round-robin
+    // schedule position, the latency-attribution ring, and every
+    // `TenantStats` block; a mid-run restore must put all of it back so
+    // the continuation — including the per-tenant stats, not just the
+    // aggregate — is indistinguishable from never stopping.
+    for (tenants, channels, partition) in [
+        (2usize, 1usize, TenantPartition::Shared),
+        (2, 4, TenantPartition::Dedicated),
+        (3, 3, TenantPartition::Dedicated),
+    ] {
+        let per = |sim: &MemSysSim| -> Vec<TenantStats> {
+            (0..tenants)
+                .map(|t| sim.tenant_stats(TenantId(t)))
+                .collect()
+        };
+        let mut reference = build_tenants(tenants, channels, partition);
+        let want = reference.run();
+        let want_per = per(&reference);
+        assert!(want.cycles > 8, "workload too small to cut meaningfully");
+        for quarter in [1u64, 2, 3] {
+            let cut = want.cycles * quarter / 4;
+            let mut original = build_tenants(tenants, channels, partition);
+            original.step(cut);
+            let bytes = original.save_state();
+            let mut resumed = build_tenants(tenants, channels, partition);
+            resumed
+                .restore_state(&bytes)
+                .expect("multi-tenant snapshot must restore into a same-config driver");
+            assert_eq!(resumed.cycle(), original.cycle(), "cut not restored");
+            assert_eq!(
+                resumed.run(),
+                want,
+                "{partition:?}/{tenants}t/{channels}ch: resume at {cut} diverged"
+            );
+            assert_eq!(
+                per(&resumed),
+                want_per,
+                "{partition:?}/{tenants}t/{channels}ch: per-tenant stats diverged at {cut}"
+            );
         }
     }
 }

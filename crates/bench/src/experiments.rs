@@ -19,7 +19,7 @@ use capstan_arch::shuffle::{MergeShift, ShuffleConfig};
 use capstan_arch::spmu::driver::{measure_random_throughput, trace_one_vector};
 use capstan_arch::spmu::{BankHash, OrderingMode, SpmuConfig};
 use capstan_baselines::{plasticine, published};
-use capstan_core::config::{CapstanConfig, MemAddressing, MemTiming, MemoryKind};
+use capstan_core::config::{CapstanConfig, MemAddressing, MemTiming, MemoryKind, TenantPartition};
 use capstan_core::perf::simulate;
 use capstan_core::program::{Workload, WorkloadBuilder};
 use capstan_core::report::PerfReport;
@@ -932,6 +932,100 @@ pub fn table13_channels(suite: &Suite) -> String {
     out
 }
 
+// --- Multi-tenant memory study -----------------------------------------------
+
+/// A two-tenant traffic mix: even tiles (tenant 0 under the perf
+/// engine's round-robin attribution) carry hub-heavy scatter traffic —
+/// the PageRank-style atomic/random pattern — while odd tiles (tenant 1)
+/// carry streaming SpMV-style traffic. `hub_weight` scales tenant 0's
+/// atomic volume so the mix can sweep from balanced to hub-dominated.
+fn multitenant_mix_workload(unit: usize, hub_weight: u64) -> Workload {
+    let tiles = 8u64;
+    let mut wl = WorkloadBuilder::new("multitenant-mix");
+    for i in 0..tiles {
+        let mut t = wl.tile();
+        if i % 2 == 0 {
+            // Tenant 0: hub traffic — scattered reads and atomic RMWs
+            // dominate, streaming is minimal.
+            t.dram_stream_read(unit);
+            t.foreach_vec(unit, |_, _| {});
+            t.dram_random_read(unit as u64 / 4);
+            t.dram_atomic(hub_weight * unit as u64 / 4);
+        } else {
+            // Tenant 1: streaming traffic — bulk sequential reads and
+            // writes, no scattered words.
+            t.dram_stream_read(unit * 8);
+            t.foreach_vec(unit, |_, _| {});
+            t.dram_stream_write(unit * 8);
+        }
+        wl.commit(t);
+    }
+    wl.finish()
+}
+
+/// Multi-tenant memory study: two tenants' traffic — PageRank-style hub
+/// scatter vs streaming SpMV — interleaved through one cycle-level
+/// memory system, under both channel-partitioning policies. Shared
+/// channels let the hub tenant's atomic serialization steal bandwidth
+/// from the streaming tenant; dedicated partitions give each tenant a
+/// private channel group, trading peak bandwidth for isolation (the
+/// streaming tenant's completion cycle becomes independent of the hub
+/// tenant's load — pinned as an invariant in
+/// `tests/mem_multitenant_differential.rs`). Timing mode, channel
+/// count, tenant count, and partition policy are all set per
+/// configuration, so the experiment is independent of the
+/// `--mem`/`--mem-channels`/`--mem-tenants` process defaults.
+pub fn table_multitenant(suite: &Suite) -> String {
+    let mut out = header("Multi-tenant: hub vs streaming tenants, shared vs dedicated channels");
+    let mk = |partition: TenantPartition| {
+        let mut cfg = CapstanConfig::new(MemoryKind::Hbm2e);
+        cfg.mem_timing = MemTiming::CycleLevel;
+        cfg.mem_channels = 4;
+        cfg.mem_tenants = 2;
+        cfg.mem_tenant_partition = partition;
+        cfg
+    };
+    let unit = (240_000.0 * suite.la_scale) as usize;
+    let mixes: [(&str, u64); 3] = [("balanced", 1), ("hub-heavy", 4), ("hub-flood", 16)];
+    let policies = [
+        ("shared", TenantPartition::Shared),
+        ("dedicated", TenantPartition::Dedicated),
+    ];
+    let points: Vec<(usize, usize)> = (0..mixes.len())
+        .flat_map(|m| (0..policies.len()).map(move |p| (m, p)))
+        .collect();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "mix", "partition", "cycles", "t0-done", "t1-done", "t0-words", "t1-words", "t0-occ%"
+    );
+    // The (mix, policy) points simulate concurrently; rows format in
+    // order, so the report text stays byte-identical across thread
+    // counts.
+    let rows = capstan_par::par_map(&points, |&(m, p)| {
+        let w = multitenant_mix_workload(unit, mixes[m].1);
+        simulate(&w, &mk(policies[p].1))
+    });
+    for (&(m, p), r) in points.iter().zip(&rows) {
+        let t = &r.mem_tenants;
+        let occ_total: u64 = t.iter().map(|s| s.occupancy_cycles).sum();
+        let _ = writeln!(
+            out,
+            "{:<10} {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7.1}%",
+            mixes[m].0,
+            policies[p].0,
+            r.mem.unwrap_or_default().cycles,
+            t[0].completion_cycle,
+            t[1].completion_cycle,
+            t[0].completed,
+            t[1].completed,
+            100.0 * t[0].occupancy_cycles as f64 / occ_total.max(1) as f64,
+        );
+    }
+    print!("{out}");
+    out
+}
+
 // --- Figure 4 ----------------------------------------------------------------
 
 /// Figure 4: a traced request vector in a random stream, per ordering
@@ -1469,6 +1563,7 @@ pub const ALL_NAMES: &[&str] = &[
     "table13-atomics",
     "table13-channels",
     "table13-recorded",
+    "table-multitenant",
     "fig5a",
     "fig5b",
     "fig5c",
@@ -1496,6 +1591,7 @@ pub fn run_by_name(name: &str, suite: &Suite) -> Option<String> {
         "table13-atomics" => table13_atomics(suite),
         "table13-channels" => table13_channels(suite),
         "table13-recorded" => table13_recorded(suite),
+        "table-multitenant" => table_multitenant(suite),
         "fig5a" => fig5a(suite),
         "fig5b" => fig5b(suite),
         "fig5c" => fig5c(suite),

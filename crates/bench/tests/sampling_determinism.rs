@@ -11,7 +11,7 @@
 //! explicit instead of an environment game.
 
 use capstan_bench::{AppId, Suite};
-use capstan_core::config::{CapstanConfig, MemAddressing, MemTiming, MemoryKind};
+use capstan_core::config::{CapstanConfig, MemAddressing, MemTiming, MemoryKind, TenantPartition};
 use capstan_core::perf::simulate;
 use capstan_core::program::Workload;
 use capstan_tensor::gen::Dataset;
@@ -88,4 +88,35 @@ fn recorded_replay_reports_are_identical_across_thread_counts() {
     let parallel = capstan_par::par_map_threads(&workloads, 4, |w| simulate(w, &cfg));
     assert_eq!(serial, parallel);
     assert!(serial.iter().all(|r| r.mem.is_some()));
+}
+
+#[test]
+fn multi_tenant_reports_are_identical_across_thread_counts() {
+    // The tenant-interleaved driver adds per-tenant cursors, a weighted
+    // round-robin schedule, and per-tenant stat attribution on top of
+    // the single-tenant path; none of it may depend on which worker
+    // thread runs the simulation. 2 and 3 tenants, shared and
+    // dedicated, through the same persistent-driver pool.
+    let workloads = record_with_threads(1);
+    for (tenants, channels, partition) in [
+        (2usize, 1usize, TenantPartition::Shared),
+        (2, 2, TenantPartition::Dedicated),
+        (3, 3, TenantPartition::Dedicated),
+    ] {
+        let mut cfg = CapstanConfig::new(MemoryKind::Hbm2e);
+        cfg.mem_timing = MemTiming::CycleLevel;
+        cfg.mem_channels = channels;
+        cfg.mem_tenants = tenants;
+        cfg.mem_tenant_partition = partition;
+        let serial = capstan_par::par_map_threads(&workloads, 1, |w| simulate(w, &cfg));
+        for threads in [2usize, 4] {
+            let parallel = capstan_par::par_map_threads(&workloads, threads, |w| simulate(w, &cfg));
+            assert_eq!(
+                serial, parallel,
+                "{partition:?}/{tenants} tenants drifted on {threads} workers"
+            );
+        }
+        assert!(serial.iter().all(|r| r.mem_tenants.len() == tenants
+            && r.mem_tenants.iter().all(|t| t.submitted == t.completed)));
+    }
 }

@@ -1,6 +1,7 @@
 //! System-level Capstan configuration.
 
 use capstan_arch::grid::GridConfig;
+pub use capstan_arch::memdrv::{TenantPartition, MAX_TENANTS};
 use capstan_arch::scanner::{BitVecScanner, DataScanner};
 use capstan_arch::shuffle::ShuffleConfig;
 use capstan_arch::spmu::SpmuConfig;
@@ -96,13 +97,18 @@ impl MemAddressing {
 
 /// The bench-row suffix a memory configuration runs under: `+cycle` for
 /// the cycle-level timing mode, `+rec` for recorded addressing, `+chN`
-/// for N > 1 region channels, concatenated in that fixed order. Rows
-/// with different suffixes form separate record groups (their simulated
-/// cycles intentionally differ), so every place that names a row — the
-/// `experiments` CLI, its resume journal, and the serving layer's
-/// shard/merge protocol — must derive the suffix identically; this is
-/// the one definition they all share.
-pub fn mem_record_suffix(timing: MemTiming, addressing: MemAddressing, channels: usize) -> String {
+/// for N > 1 region channels, `+mtN` for N > 1 memory tenants,
+/// concatenated in that fixed order. Rows with different suffixes form
+/// separate record groups (their simulated cycles intentionally differ),
+/// so every place that names a row — the `experiments` CLI, its resume
+/// journal, and the serving layer's shard/merge protocol — must derive
+/// the suffix identically; this is the one definition they all share.
+pub fn mem_record_suffix(
+    timing: MemTiming,
+    addressing: MemAddressing,
+    channels: usize,
+    tenants: usize,
+) -> String {
     let mut suffix = String::new();
     if timing == MemTiming::CycleLevel {
         suffix.push_str("+cycle");
@@ -112,6 +118,9 @@ pub fn mem_record_suffix(timing: MemTiming, addressing: MemAddressing, channels:
     }
     if channels > 1 {
         suffix.push_str(&format!("+ch{channels}"));
+    }
+    if tenants > 1 {
+        suffix.push_str(&format!("+mt{tenants}"));
     }
     suffix
 }
@@ -211,6 +220,24 @@ pub fn default_mem_channels() -> usize {
     DEFAULT_MEM_CHANNELS.load(Ordering::Relaxed)
 }
 
+/// Process-wide default for [`CapstanConfig::new`]'s `mem_tenants`
+/// field.
+static DEFAULT_MEM_TENANTS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the cycle-level memory-tenant count newly constructed
+/// configurations default to (the `experiments --mem-tenants N` flag).
+/// Like [`set_default_mem_timing`], intended to be called **once, at
+/// process start**; the value is clamped to `1..=MAX_TENANTS`.
+pub fn set_default_mem_tenants(tenants: usize) {
+    DEFAULT_MEM_TENANTS.store(tenants.clamp(1, MAX_TENANTS), Ordering::Relaxed);
+}
+
+/// The cycle-level memory-tenant count newly constructed configurations
+/// default to.
+pub fn default_mem_tenants() -> usize {
+    DEFAULT_MEM_TENANTS.load(Ordering::Relaxed)
+}
+
 /// Full configuration of a simulated Capstan system.
 ///
 /// The default values are the paper's design point (Table 7): a 20x20
@@ -278,6 +305,20 @@ pub struct CapstanConfig {
     /// sampled address vectors (see [`MemAddressing`]). Ignored by the
     /// analytic mode.
     pub mem_addresses: MemAddressing,
+    /// Memory tenants of the cycle-level mode: each tile's DRAM traffic
+    /// is attributed to one of `mem_tenants` tenants (round-robin over
+    /// tile index in `perf`), and the driver interleaves the tenants'
+    /// traffic in a deterministic weighted round-robin
+    /// (`capstan_arch::memdrv::TenantId`). 1 — the default — reproduces
+    /// the single-tenant driver every committed golden value was
+    /// captured under bit-for-bit. Ignored by the analytic mode.
+    pub mem_tenants: usize,
+    /// Channel partitioning policy across memory tenants: `Shared` (all
+    /// tenants contend on every region channel — the default) or
+    /// `Dedicated` (channels split into one private group per tenant;
+    /// requires `mem_channels % mem_tenants == 0`). Ignored when
+    /// `mem_tenants` is 1 and by the analytic mode.
+    pub mem_tenant_partition: TenantPartition,
     /// Whether the cycle-level memory mode may jump over provably inert
     /// tick stretches (event-driven fast-forward) instead of ticking
     /// every cycle. Bit-identical in simulated cycles and statistics to
@@ -315,6 +356,8 @@ impl CapstanConfig {
             serialized_sram: false,
             mem_timing: default_mem_timing(),
             mem_channels: default_mem_channels(),
+            mem_tenants: default_mem_tenants(),
+            mem_tenant_partition: TenantPartition::default(),
             mem_addresses: default_mem_addressing(),
             mem_fast_forward: default_mem_fast_forward(),
             addr_sample_limit: 512,
@@ -440,12 +483,35 @@ mod tests {
         // ungated record group.
         use MemAddressing::*;
         use MemTiming::*;
-        assert_eq!(mem_record_suffix(Analytic, Synthetic, 1), "");
-        assert_eq!(mem_record_suffix(CycleLevel, Synthetic, 1), "+cycle");
-        assert_eq!(mem_record_suffix(CycleLevel, Recorded, 1), "+cycle+rec");
-        assert_eq!(mem_record_suffix(CycleLevel, Synthetic, 4), "+cycle+ch4");
-        assert_eq!(mem_record_suffix(Analytic, Synthetic, 4), "+ch4");
-        assert_eq!(mem_record_suffix(CycleLevel, Recorded, 2), "+cycle+rec+ch2");
+        assert_eq!(mem_record_suffix(Analytic, Synthetic, 1, 1), "");
+        assert_eq!(mem_record_suffix(CycleLevel, Synthetic, 1, 1), "+cycle");
+        assert_eq!(mem_record_suffix(CycleLevel, Recorded, 1, 1), "+cycle+rec");
+        assert_eq!(mem_record_suffix(CycleLevel, Synthetic, 4, 1), "+cycle+ch4");
+        assert_eq!(mem_record_suffix(Analytic, Synthetic, 4, 1), "+ch4");
+        assert_eq!(
+            mem_record_suffix(CycleLevel, Recorded, 2, 1),
+            "+cycle+rec+ch2"
+        );
+        assert_eq!(mem_record_suffix(CycleLevel, Synthetic, 1, 2), "+cycle+mt2");
+        assert_eq!(
+            mem_record_suffix(CycleLevel, Recorded, 4, 3),
+            "+cycle+rec+ch4+mt3"
+        );
+    }
+
+    #[test]
+    fn mem_tenants_defaults_to_the_bit_compatible_single_tenant() {
+        // The golden pins were captured under the single-tenant driver;
+        // the process-wide default must not drift. (As with the timing
+        // mode, no test may call `set_default_mem_tenants` — tests share
+        // one process; explicit per-config overrides are the test-safe
+        // way.)
+        assert_eq!(CapstanConfig::paper_default().mem_tenants, 1);
+        assert_eq!(default_mem_tenants(), 1);
+        assert_eq!(
+            CapstanConfig::paper_default().mem_tenant_partition,
+            TenantPartition::Shared
+        );
     }
 
     #[test]

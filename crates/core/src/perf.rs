@@ -80,7 +80,9 @@ use crate::config::CapstanConfig;
 use crate::config::{MemAddressing, MemTiming};
 use crate::program::{TileWork, Workload};
 use crate::report::{Breakdown, PerfReport};
-use capstan_arch::memdrv::{MemStats, MemSysConfig, MemSysSim, TileTraffic};
+use capstan_arch::memdrv::{
+    MemStats, MemSysConfig, MemSysSim, TenantId, TenantStats, TileTraffic, MAX_TENANTS,
+};
 use capstan_arch::shuffle::{ButterflyNetwork, RouteScratch, ShuffleVector};
 use capstan_arch::spmu::driver::run_vectors;
 use capstan_arch::spmu::{AccessVector, LaneRequest};
@@ -450,6 +452,7 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
     let dram_bytes = stream_bytes + random_bytes;
     let mut dram = 0.0f64;
     let mut mem_stats: Option<MemStats> = None;
+    let mut mem_tenant_stats: Vec<TenantStats> = Vec::new();
     if !cfg.ideal_net_and_mem {
         let dram_cycles = match cfg.mem_timing {
             MemTiming::CycleLevel if !matches!(cfg.memory, MemoryKind::Ideal) => {
@@ -459,6 +462,14 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
                 // persistent per worker thread (see the module docs), so
                 // sweep-style experiments pay construction once.
                 let mut mcfg = MemSysConfig::with_channels(&dram_model, cfg.mem_channels);
+                // Memory tenants: tiles are attributed round-robin over
+                // the tile index, so a run's tenant assignment depends
+                // only on the workload's deterministic tile order. With
+                // one tenant (the default) every tile lands on
+                // `TenantId(0)` and the replay is bit-identical to the
+                // pre-tenant driver.
+                mcfg.tenants = cfg.mem_tenants.clamp(1, MAX_TENANTS);
+                mcfg.partition = cfg.mem_tenant_partition;
                 // The drain-loop mode is declared per config (the
                 // CAPSTAN_MEM_FASTFORWARD env override is applied
                 // inside the driver). It participates in the pool key
@@ -477,21 +488,24 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
                 // concatenated sample, weighted by sample length. See
                 // `MemSysSim::add_tile_recorded` for the contract.
                 let recorded = matches!(cfg.mem_addresses, MemAddressing::Recorded);
-                let stats = with_memsys(dram_model, mcfg, |msim| {
-                    for tile in &workload.tiles {
+                let tenants = mcfg.tenants;
+                let (stats, tenant_stats) = with_memsys(dram_model, mcfg, |msim| {
+                    for (i, tile) in workload.tiles.iter().enumerate() {
+                        let tenant = TenantId(i % tenants);
                         let traffic = TileTraffic {
                             stream_bursts: effective_stream_bytes(tile).div_ceil(BURST_BYTES),
                             random_bursts: tile.dram_random_words,
                             atomic_words: tile.dram_atomic_words,
                         };
                         if recorded {
-                            msim.add_tile_recorded(
+                            msim.add_tile_recorded_for(
+                                tenant,
                                 traffic,
                                 &tile.dram_random_addrs,
                                 &tile.dram_atomic_addrs,
                             );
                         } else {
-                            msim.add_tile(traffic);
+                            msim.add_tile_for(tenant, traffic);
                         }
                     }
                     if fallback_atomic_entries > 0 {
@@ -518,9 +532,14 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
                         }
                         msim.add_tile(traffic);
                     }
-                    drive_memsys(msim)
+                    let stats = drive_memsys(msim);
+                    let tenant_stats: Vec<TenantStats> = (0..msim.tenants())
+                        .map(|t| msim.tenant_stats(TenantId(t)))
+                        .collect();
+                    (stats, tenant_stats)
                 });
                 mem_stats = Some(stats);
+                mem_tenant_stats = tenant_stats;
                 stats.cycles
             }
             _ => {
@@ -568,6 +587,7 @@ pub fn simulate(workload: &Workload, cfg: &CapstanConfig) -> PerfReport {
         lane_efficiency: total_lane_work as f64
             / (cycles as f64 * p * cfg.grid.lanes as f64).max(1.0),
         mem: mem_stats,
+        mem_tenants: mem_tenant_stats,
     }
 }
 

@@ -1,6 +1,6 @@
 //! Performance reports and the Fig. 7 stall breakdown.
 
-use capstan_arch::memdrv::MemStats;
+use capstan_arch::memdrv::{MemStats, TenantStats};
 use capstan_sim::cycles_to_seconds;
 use std::fmt;
 
@@ -91,6 +91,11 @@ pub struct PerfReport {
     /// `MemTiming::CycleLevel` with a non-ideal memory system; the
     /// analytic mode has no cycle-level observables.
     pub mem: Option<MemStats>,
+    /// Per-tenant cycle-level memory statistics, indexed by
+    /// `TenantId.0` (one entry per configured memory tenant, including
+    /// the single-tenant case). Empty under the analytic mode, which
+    /// has no tenant-attributed observables.
+    pub mem_tenants: Vec<TenantStats>,
 }
 
 impl PerfReport {
@@ -156,6 +161,7 @@ mod tests {
             dram_bytes: 0,
             lane_efficiency: 1.0,
             mem: None,
+            mem_tenants: Vec::new(),
         };
         let fast = mk(1_600_000);
         let slow = mk(16_000_000);

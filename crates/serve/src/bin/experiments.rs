@@ -47,14 +47,18 @@
 //! `--mem-channels N` sets the cycle-level mode's region-channel count
 //! (per-AG channels behind a crossbar; default 1) and, when N > 1,
 //! appends a `+chN` suffix for the same reason — a different topology
-//! simulates a different cycle count. The `+rec` and `+chN` suffixes
+//! simulates a different cycle count. `--mem-tenants N` sets the
+//! cycle-level mode's memory-tenant count (tiles attributed round-robin
+//! to N tenants whose traffic interleaves through the driver; the
+//! default is 1) and, when N > 1, appends a `+mtN` suffix. The `+rec`,
+//! `+chN`, and `+mtN` suffixes
 //! apply regardless of `--mem`, because some experiments (e.g.
 //! `table13-atomics`) exercise the cycle-level driver internally even
 //! under the analytic default and therefore pick up the overrides too —
 //! an unlabeled row would silently diverge from the committed baseline.
-//! (`table13-channels` and `table13-recorded` are the exceptions: they
-//! set their channel counts / addressing per configuration and ignore
-//! the process defaults.) The suffix rules live in one place,
+//! (`table13-channels`, `table13-recorded`, and `table-multitenant` are
+//! the exceptions: they set their channel counts / addressing / tenant
+//! mixes per configuration and ignore the process defaults.) The suffix rules live in one place,
 //! `capstan_core::config::mem_record_suffix`, shared with the serving
 //! layer, so the CLI, the server, and the journal headers can never
 //! disagree on a row's record group. `--mem-fastforward on|off`
@@ -113,7 +117,8 @@ use capstan_bench::gate::{self, BenchEntry, BenchRecord};
 use capstan_bench::Suite;
 use capstan_core::config::{
     mem_record_suffix, set_default_mem_addressing, set_default_mem_channels,
-    set_default_mem_fast_forward, set_default_mem_timing, MemAddressing, MemTiming,
+    set_default_mem_fast_forward, set_default_mem_tenants, set_default_mem_timing, MemAddressing,
+    MemTiming,
 };
 use capstan_serve::client;
 use capstan_serve::key::RunSpec;
@@ -125,11 +130,11 @@ use std::time::Instant;
 const USAGE: &str = "usage: experiments [NAMES...] \
 [--scale small|medium|large|la=F,graph=F,spmspm=F,conv=F] \
 [--mem analytic|cycle] [--mem-addresses synthetic|recorded] [--mem-channels N] \
-[--mem-fastforward on|off] [--bench-out PATH] [--bench-base PATH] [--no-bench-out] \
-[--resume DIR]
+[--mem-tenants N] [--mem-fastforward on|off] [--bench-out PATH] [--bench-base PATH] \
+[--no-bench-out] [--resume DIR]
        experiments --serve ADDR [--serve-shards N] [--serve-workdir DIR]
        experiments [NAMES...] --submit ADDR [--scale SPEC] [--mem MODE] \
-[--mem-addresses MODE] [--mem-channels N]
+[--mem-addresses MODE] [--mem-channels N] [--mem-tenants N]
        experiments --serve-stats ADDR
        experiments --serve-shutdown ADDR";
 
@@ -147,6 +152,8 @@ struct Cli {
     mem_addresses: Option<MemAddressing>,
     /// `--mem-channels` override.
     mem_channels: Option<usize>,
+    /// `--mem-tenants` override.
+    mem_tenants: Option<usize>,
     /// `--mem-fastforward` override (no bench-row suffix: the two drain
     /// modes are bit-identical in simulated cycles).
     mem_fast_forward: Option<bool>,
@@ -213,6 +220,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     format!("--mem-channels needs a positive integer, got `{raw}`")
                 })?;
                 cli.mem_channels = Some(n);
+            }
+            "--mem-tenants" => {
+                let raw = value("--mem-tenants", &mut it)?;
+                let max = capstan_core::config::MAX_TENANTS;
+                let n: usize = raw
+                    .parse()
+                    .ok()
+                    .filter(|&n| (1..=max).contains(&n))
+                    .ok_or_else(|| {
+                        format!("--mem-tenants needs an integer in 1..={max}, got `{raw}`")
+                    })?;
+                cli.mem_tenants = Some(n);
             }
             "--mem-fastforward" => {
                 cli.mem_fast_forward = Some(match value("--mem-fastforward", &mut it)?.as_str() {
@@ -281,6 +300,7 @@ fn check_modes(cli: &Cli) -> Result<(), String> {
             || cli.mem.is_some()
             || cli.mem_addresses.is_some()
             || cli.mem_channels.is_some()
+            || cli.mem_tenants.is_some()
             || cli.mem_fast_forward.is_some()
             || cli.bench_out.is_some()
             || cli.bench_base.is_some()
@@ -433,6 +453,7 @@ fn run_submit(cli: &Cli) -> ! {
             spec.mem = cli.mem.unwrap_or_default();
             spec.addresses = cli.mem_addresses.unwrap_or_default();
             spec.channels = cli.mem_channels.unwrap_or(1);
+            spec.tenants = cli.mem_tenants.unwrap_or(1);
             spec
         })
         .collect();
@@ -509,6 +530,9 @@ fn main() {
     if let Some(n) = cli.mem_channels {
         set_default_mem_channels(n);
     }
+    if let Some(n) = cli.mem_tenants {
+        set_default_mem_tenants(n);
+    }
     // No suffix: fast-forward changes wall-clock speed only, never
     // simulated cycles, so its rows stay in the same record group.
     if let Some(enabled) = cli.mem_fast_forward {
@@ -518,6 +542,7 @@ fn main() {
         cli.mem.unwrap_or_default(),
         cli.mem_addresses.unwrap_or_default(),
         cli.mem_channels.unwrap_or(1),
+        cli.mem_tenants.unwrap_or(1),
     );
 
     let mut which = cli.which;
@@ -665,6 +690,8 @@ mod tests {
             "recorded",
             "--mem-channels",
             "4",
+            "--mem-tenants",
+            "2",
             "--mem-fastforward",
             "off",
             "--bench-out",
@@ -676,6 +703,7 @@ mod tests {
         assert_eq!(cli.mem, Some(MemTiming::CycleLevel));
         assert_eq!(cli.mem_addresses, Some(MemAddressing::Recorded));
         assert_eq!(cli.mem_channels, Some(4));
+        assert_eq!(cli.mem_tenants, Some(2));
         assert_eq!(cli.mem_fast_forward, Some(false));
         assert_eq!(cli.bench_out.as_deref(), Some("OUT.json"));
         assert!(!cli.no_bench_out);
@@ -720,6 +748,7 @@ mod tests {
             "--mem",
             "--mem-addresses",
             "--mem-channels",
+            "--mem-tenants",
             "--mem-fastforward",
             "--bench-out",
             "--bench-base",
@@ -752,6 +781,8 @@ mod tests {
         assert!(parse_args(&args(&["--mem-addresses", "vibes"])).is_err());
         assert!(parse_args(&args(&["--mem-channels", "0"])).is_err());
         assert!(parse_args(&args(&["--mem-channels", "many"])).is_err());
+        assert!(parse_args(&args(&["--mem-tenants", "0"])).is_err());
+        assert!(parse_args(&args(&["--mem-tenants", "99"])).is_err());
         assert!(parse_args(&args(&["--mem-fastforward", "maybe"])).is_err());
         assert!(parse_args(&args(&["--serve", "a:1", "--serve-shards", "0"])).is_err());
     }

@@ -16,7 +16,7 @@ use capstan_sim::snapshot::{fnv1a_64, SnapshotWriter};
 
 /// Versioned domain tag mixed into every cache key; bump on any change
 /// to the canonical encoding so stale keys can never alias new ones.
-const KEY_TAG: &str = "capstan-serve-key/v1";
+const KEY_TAG: &str = "capstan-serve-key/v2";
 
 /// One fully specified experiment request: the unit the server queues,
 /// batches, caches, and shards.
@@ -37,6 +37,8 @@ pub struct RunSpec {
     pub addresses: MemAddressing,
     /// Region-channel count (`--mem-channels`).
     pub channels: usize,
+    /// Memory-tenant count (`--mem-tenants`).
+    pub tenants: usize,
 }
 
 impl RunSpec {
@@ -50,6 +52,7 @@ impl RunSpec {
             mem: MemTiming::default(),
             addresses: MemAddressing::default(),
             channels: 1,
+            tenants: 1,
         }
     }
 
@@ -61,7 +64,7 @@ impl RunSpec {
     /// The bench-row suffix this memory configuration runs under
     /// (shared definition: [`mem_record_suffix`]).
     pub fn suffix(&self) -> String {
-        mem_record_suffix(self.mem, self.addresses, self.channels)
+        mem_record_suffix(self.mem, self.addresses, self.channels, self.tenants)
     }
 
     /// The bench-record row name this spec produces: the experiment
@@ -87,6 +90,7 @@ impl RunSpec {
         write_str(&mut w, self.mem.tag());
         write_str(&mut w, self.addresses.tag());
         w.write_u64(self.channels as u64);
+        w.write_u64(self.tenants as u64);
         Ok(fnv1a_64(w.as_bytes()))
     }
 }
@@ -135,6 +139,9 @@ mod tests {
         let mut other = base.clone();
         other.channels = 4;
         assert_ne!(other.cache_key().unwrap(), key);
+        let mut other = base.clone();
+        other.tenants = 2;
+        assert_ne!(other.cache_key().unwrap(), key);
     }
 
     #[test]
@@ -144,6 +151,8 @@ mod tests {
         spec.mem = MemTiming::CycleLevel;
         spec.channels = 4;
         assert_eq!(spec.row_name(), "table13-atomics+cycle+ch4");
+        spec.tenants = 2;
+        assert_eq!(spec.row_name(), "table13-atomics+cycle+ch4+mt2");
     }
 
     #[test]

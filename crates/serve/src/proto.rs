@@ -5,7 +5,7 @@
 //! response. Requests:
 //!
 //! ```text
-//! capstan-serve/v1 SUBMIT experiment=fig7 scale=small mem=cycle addresses=synthetic channels=1
+//! capstan-serve/v1 SUBMIT experiment=fig7 scale=small mem=cycle addresses=synthetic channels=1 tenants=1
 //! capstan-serve/v1 STATS
 //! capstan-serve/v1 PING
 //! capstan-serve/v1 SHUTDOWN
@@ -13,7 +13,7 @@
 //!
 //! `SUBMIT` fields may appear in **any order**; only `experiment` is
 //! required (the rest default to the CLI defaults: `medium`, `analytic`,
-//! `synthetic`, `1`). Unknown fields, duplicated fields, unparsable
+//! `synthetic`, `1`, `1`). Unknown fields, duplicated fields, unparsable
 //! values, and non-finite scale factors are all typed errors — a typo
 //! must never silently fall back to a default and simulate the wrong
 //! thing. Responses:
@@ -60,6 +60,11 @@ pub const MAX_REPORT: usize = 16 << 20;
 /// model is exercised at, with headroom; a absurd channel count would
 /// otherwise make a worker allocate per-channel state unboundedly.
 pub const MAX_CHANNELS: usize = 1024;
+
+/// Upper bound on `tenants=` — the driver's own
+/// `capstan_arch::memdrv::MAX_TENANTS` cap, re-validated at the wire so
+/// a bad count is a typed request error instead of a worker panic.
+pub const MAX_TENANTS: usize = capstan_core::config::MAX_TENANTS;
 
 /// A parsed request frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -250,6 +255,17 @@ fn parse_submit(fields: &[&str]) -> Result<RunSpec, ProtoError> {
                         ))
                     })?;
             }
+            "tenants" => {
+                spec.tenants = value
+                    .parse()
+                    .ok()
+                    .filter(|n| (1..=MAX_TENANTS).contains(n))
+                    .ok_or_else(|| {
+                        ProtoError::BadRequest(format!(
+                            "tenants must be an integer in 1..={MAX_TENANTS}, got `{value}`"
+                        ))
+                    })?;
+            }
             other => {
                 return Err(ProtoError::BadRequest(format!(
                     "unknown field `{}`",
@@ -270,12 +286,13 @@ fn parse_submit(fields: &[&str]) -> Result<RunSpec, ProtoError> {
 /// server accepts any order).
 pub fn format_submit(spec: &RunSpec) -> String {
     format!(
-        "{MAGIC} SUBMIT experiment={} scale={} mem={} addresses={} channels={}\n",
+        "{MAGIC} SUBMIT experiment={} scale={} mem={} addresses={} channels={} tenants={}\n",
         spec.experiment,
         spec.scale,
         spec.mem.tag(),
         spec.addresses.tag(),
-        spec.channels
+        spec.channels,
+        spec.tenants
     )
 }
 
@@ -518,6 +535,15 @@ mod tests {
         };
         assert_eq!(bare.scale, "medium");
         assert_eq!(bare.channels, 1);
+        assert_eq!(bare.tenants, 1);
+        // Explicit tenants parse and land in the spec.
+        let Request::Submit(mt) = parse_request(&format!(
+            "{MAGIC} SUBMIT experiment=fig7 mem=cycle tenants=2"
+        ))
+        .unwrap() else {
+            panic!("not a submit")
+        };
+        assert_eq!(mt.tenants, 2);
     }
 
     #[test]
@@ -526,6 +552,7 @@ mod tests {
         spec.scale = "la=0.04,graph=0.015,spmspm=0.5,conv=0.1".to_string();
         spec.mem = MemTiming::CycleLevel;
         spec.channels = 4;
+        spec.tenants = 2;
         let line = format_submit(&spec);
         let parsed = parse_request(line.trim_end()).unwrap();
         assert_eq!(parsed, Request::Submit(spec));
@@ -565,6 +592,14 @@ mod tests {
             ),
             (
                 &format!("{MAGIC} SUBMIT experiment=fig7 mem=psychic"),
+                "bad-request",
+            ),
+            (
+                &format!("{MAGIC} SUBMIT experiment=fig7 tenants=0"),
+                "bad-request",
+            ),
+            (
+                &format!("{MAGIC} SUBMIT experiment=fig7 tenants=99"),
                 "bad-request",
             ),
             (&format!("{MAGIC} STATS now"), "bad-request"),

@@ -2,7 +2,7 @@
 //!
 //! One scheduler thread drains a pending-job queue in batches; each
 //! batch is grouped by *compatible configuration* — identical `(scale,
-//! mem, addresses, channels)`, i.e. jobs that one `experiments` worker
+//! mem, addresses, channels, tenants)`, i.e. jobs that one `experiments` worker
 //! invocation can run together — and each group fans out across up to
 //! [`ServerConfig::shards`] worker **processes** driven concurrently by
 //! `capstan_par::par_map_threads`. Workers are plain `experiments`
@@ -410,11 +410,12 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     for job in batch {
         let spec = &job.spec;
         let compat = format!(
-            "{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}",
             spec.scale,
             spec.mem.tag(),
             spec.addresses.tag(),
-            spec.channels
+            spec.channels,
+            spec.tenants
         );
         groups.entry(compat).or_default().push(job);
     }
@@ -537,6 +538,9 @@ fn run_shard(
         }
         if spec0.channels > 1 {
             cmd.arg("--mem-channels").arg(spec0.channels.to_string());
+        }
+        if spec0.tenants > 1 {
+            cmd.arg("--mem-tenants").arg(spec0.tenants.to_string());
         }
         cmd.arg("--resume")
             .arg(&journal_dir)
