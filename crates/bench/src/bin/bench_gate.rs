@@ -13,15 +13,16 @@
 
 use capstan_bench::gate;
 
-fn load(path: &str) -> gate::BenchRecord {
+fn load(path: &str) -> (gate::BenchRecord, Option<u64>) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("bench-gate: cannot read {path}: {e}");
         std::process::exit(2);
     });
-    gate::parse_record(&text).unwrap_or_else(|e| {
+    let record = gate::parse_record(&text).unwrap_or_else(|e| {
         eprintln!("bench-gate: {path}: {e}");
         std::process::exit(2);
-    })
+    });
+    (record, gate::threads_field(&text))
 }
 
 fn main() {
@@ -36,8 +37,21 @@ fn main() {
         std::process::exit(2);
     });
 
-    let baseline = load(baseline_path);
-    let fresh = load(fresh_path);
+    let (baseline, baseline_threads) = load(baseline_path);
+    let (fresh, fresh_threads) = load(fresh_path);
+    // A warning only: the committed baseline is captured with
+    // `threads: 1` (single-CPU container), so a multi-threaded fresh
+    // record's cycles/sec is not an apples-to-apples throughput
+    // comparison — but simulated cycles are thread-independent, so the
+    // gate itself still holds.
+    if let (Some(b), Some(f)) = (baseline_threads, fresh_threads) {
+        if b != f {
+            eprintln!(
+                "bench-gate: warning: thread counts differ (baseline {b}, fresh {f}) — \
+                 cycles/sec is not directly comparable"
+            );
+        }
+    }
     let errors = gate::compare(&baseline, &fresh, tolerance);
     if errors.is_empty() {
         println!(

@@ -23,7 +23,7 @@ use capstan_core::config::{CapstanConfig, MemAddressing, MemTiming, MemoryKind, 
 use capstan_core::perf::simulate;
 use capstan_core::program::{Workload, WorkloadBuilder};
 use capstan_core::report::PerfReport;
-use capstan_tensor::gen::Dataset;
+use capstan_tensor::gen::{Dataset, Structure};
 use std::fmt::Write as _;
 
 fn header(title: &str) -> String {
@@ -1546,6 +1546,134 @@ pub fn extensions(suite: &Suite) -> String {
     out
 }
 
+// --- Planner -----------------------------------------------------------------
+
+/// The matrix datasets the planner experiment sweeps: every Table 6
+/// dataset except the CNN layers (Conv builds from layer descriptors,
+/// not a matrix the SpMV planner can probe).
+fn planner_datasets() -> Vec<Dataset> {
+    Dataset::ALL
+        .iter()
+        .copied()
+        .filter(|d| d.spec().structure != Structure::Cnn)
+        .collect()
+}
+
+/// The suite scale factor a dataset's structure class runs under,
+/// mirroring the app-family grouping of `Suite::scale_for`.
+fn planner_scale(suite: &Suite, structure: Structure) -> f64 {
+    match structure {
+        Structure::Circuit | Structure::MultiDiagonal | Structure::Banded => suite.la_scale,
+        Structure::Road | Structure::PowerLaw => suite.graph_scale,
+        Structure::DenseRandom | Structure::Cnn => suite.spmspm_scale,
+    }
+}
+
+/// One planner-experiment row: the probe-tier choice, the full-scale
+/// ranking, and the regret between them.
+struct PlannerRow {
+    name: &'static str,
+    nnz: u64,
+    density: f64,
+    suggested: capstan_tensor::FormatClass,
+    chosen: capstan_tensor::FormatClass,
+    best: capstan_tensor::FormatClass,
+    best_cycles: u64,
+    regret: u64,
+}
+
+fn planner_report(suite: &Suite, threads: Option<usize>) -> String {
+    let datasets = planner_datasets();
+    let probe_one = |&d: &Dataset| -> PlannerRow {
+        let spec = d.spec();
+        let scale = planner_scale(suite, spec.structure);
+        // Probe tier: the planner only sees a quarter-scale sample of
+        // the dataset — the serving scenario, where planning must cost
+        // far less than the run it configures.
+        let probe = d.generate_scaled(scale * 0.25);
+        let probe_plan = capstan_plan::plan_spmv(&probe);
+        let chosen = probe_plan.chosen().candidate.format;
+        // Ground truth: price every candidate at full scale.
+        let full = d.generate_scaled(scale);
+        let full_plan = capstan_plan::plan_spmv(&full);
+        let best = full_plan.chosen();
+        let chosen_cycles = full_plan
+            .ranked
+            .iter()
+            .find(|c| c.candidate.format == chosen)
+            .expect("probed formats are a subset of full-scale candidates")
+            .cycles;
+        PlannerRow {
+            name: spec.name,
+            nnz: full_plan.stats.nnz,
+            density: full_plan.stats.density(),
+            suggested: full_plan.stats.suggest(),
+            chosen,
+            best: best.candidate.format,
+            best_cycles: best.cycles,
+            regret: chosen_cycles - best.cycles,
+        }
+    };
+    let rows = match threads {
+        Some(n) => capstan_par::par_map_threads(&datasets, n, probe_one),
+        None => capstan_par::par_map(&datasets, probe_one),
+    };
+    let mut out = header("Planner: chosen-vs-best analytic regret per dataset");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>9}  {:>8} {:>8} {:>8} {:>12} {:>10}",
+        "Dataset", "nnz", "density", "suggest", "chosen", "best", "best-cycles", "regret"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9} {:>9.5}  {:>8} {:>8} {:>8} {:>12} {:>10}",
+            r.name,
+            r.nnz,
+            r.density,
+            r.suggested.tag(),
+            r.chosen.tag(),
+            r.best.tag(),
+            r.best_cycles,
+            r.regret
+        );
+    }
+    let mut regrets: Vec<u64> = rows.iter().map(|r| r.regret).collect();
+    regrets.sort_unstable();
+    let median = regrets[regrets.len() / 2];
+    let worst = rows
+        .iter()
+        .max_by_key(|r| r.regret)
+        .expect("planner sweeps at least one dataset");
+    let _ = writeln!(out, "median regret: {median} cycles");
+    let _ = writeln!(
+        out,
+        "worst regret:  {} cycles ({}, chosen {} vs best {})",
+        worst.regret,
+        worst.name,
+        worst.chosen.tag(),
+        worst.best.tag()
+    );
+    out
+}
+
+/// The `planner` experiment: for every matrix dataset, plan from a
+/// quarter-scale probe, then measure the regret of the chosen format
+/// against the true analytic winner at full scale. Median regret 0 is
+/// the acceptance bar — the planner picks the true winner on at least
+/// half the datasets — and the worst case is reported by name.
+pub fn planner(suite: &Suite) -> String {
+    let out = planner_report(suite, None);
+    print!("{out}");
+    out
+}
+
+/// [`planner`] with an explicit worker count and no printing, for the
+/// thread-count determinism tests.
+pub fn planner_with_threads(suite: &Suite, threads: usize) -> String {
+    planner_report(suite, Some(threads))
+}
+
 /// Every experiment name, in canonical [`all`] order. The `experiments`
 /// binary iterates this same list, so the two can never drift.
 pub const ALL_NAMES: &[&str] = &[
@@ -1571,6 +1699,7 @@ pub const ALL_NAMES: &[&str] = &[
     "fig7",
     "ablations",
     "extensions",
+    "planner",
 ];
 
 /// Runs one experiment by name, returning its report text (`None` for
@@ -1599,6 +1728,7 @@ pub fn run_by_name(name: &str, suite: &Suite) -> Option<String> {
         "fig7" => fig7(suite),
         "ablations" => ablations(suite),
         "extensions" => extensions(suite),
+        "planner" => planner(suite),
         _ => return None,
     })
 }

@@ -172,6 +172,15 @@ fn number_field(text: &str, key: &str) -> Result<f64, GateError> {
         .map_err(|e| GateError::Malformed(format!("bad `{key}`: {e}")))
 }
 
+/// Extracts a record's top-level `"threads"` field — the worker-thread
+/// count it was captured under. Tolerant (`None` when absent or
+/// malformed): the thread count never affects simulated cycles, only
+/// wall-clock throughput, so it informs a `bench-gate` *warning* when
+/// baseline and fresh records disagree, never a failure.
+pub fn threads_field(text: &str) -> Option<u64> {
+    number_field(text, "threads").ok().map(|n| n as u64)
+}
+
 /// Parses the fixed `capstan-bench-core/v1` record format.
 ///
 /// Rows are parsed line by line, so the parse also verifies the
@@ -393,6 +402,22 @@ mod tests {
   "total_simulated_cycles": 112688
 }
 "#;
+        assert_eq!(threads_field(text), Some(4));
+        let no_threads = r#"{
+  "schema": "capstan-bench-core/v1",
+  "scale": "small",
+  "experiments": [
+    {"name": "table4", "wall_seconds": 0.311957, "simulated_cycles": 90000, "cycles_per_second": 288500.9},
+    {"name": "fig4", "wall_seconds": 0.032404, "simulated_cycles": 22688, "cycles_per_second": 700170.0}
+  ],
+  "total_wall_seconds": 0.344361,
+  "total_simulated_cycles": 112688
+}
+"#;
+        // Records predating the threads field stay parseable; the
+        // missing count is tolerated, never an error.
+        assert_eq!(threads_field(no_threads), None);
+        assert!(parse_record(no_threads).is_ok());
         let r = parse_record(text).unwrap();
         assert_eq!(r.schema, "capstan-bench-core/v1");
         assert_eq!(r.scale, "small");

@@ -10,7 +10,9 @@ use capstan_apps::spmspm::SpMSpM;
 use capstan_apps::spmv::{CooSpmv, CscSpmv, CsrSpmv};
 use capstan_apps::sssp::Sssp;
 use capstan_apps::App;
+use capstan_core::config::{default_plan_mode, PlanMode};
 use capstan_tensor::gen::Dataset;
+use capstan_tensor::stats::TensorStats;
 
 /// The eleven applications, in Table 12 column order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -269,13 +271,35 @@ impl Suite {
         }
     }
 
-    /// Builds one application instance on one dataset.
+    /// Builds one application instance on one dataset under the
+    /// process-wide plan mode ([`default_plan_mode`]): hardcoded
+    /// constructors under `Fixed` (bit-compatible with every committed
+    /// golden value), planner-derived formats under `Auto` (see
+    /// [`Suite::build_planned`]).
     pub fn build(&self, app: AppId, dataset: Dataset) -> Box<dyn App> {
+        self.build_planned(app, dataset, default_plan_mode())
+    }
+
+    /// Builds one application instance on one dataset under an explicit
+    /// plan mode. Under [`PlanMode::Auto`], the format-generic SpMV slot
+    /// (`AppId::CsrSpmv`) consults the planner's static tier
+    /// ([`TensorStats::suggest`]) and stores the matrix in the suggested
+    /// format, falling back to CSR when the suggestion has no SpMV
+    /// kernel. The other apps keep their identities: COO/CSC SpMV study
+    /// specific hazard patterns, and the graph/solver apps are not
+    /// format-generic.
+    pub fn build_planned(&self, app: AppId, dataset: Dataset, plan: PlanMode) -> Box<dyn App> {
         let scale = self.scale_for(app);
         match app {
             AppId::Conv => Box::new(SparseConv::from_dataset(dataset, scale)),
             _ => {
                 let m = dataset.generate_scaled(scale);
+                if plan == PlanMode::Auto && app == AppId::CsrSpmv {
+                    let suggestion = TensorStats::compute(&m).suggest();
+                    if let Some(planned) = capstan_plan::build_spmv(&m, suggestion) {
+                        return planned;
+                    }
+                }
                 match app {
                     AppId::CsrSpmv => Box::new(CsrSpmv::new(&m)),
                     AppId::CooSpmv => Box::new(CooSpmv::new(&m)),
@@ -296,6 +320,15 @@ impl Suite {
     /// Builds the app on all three of its paper datasets.
     pub fn build_all(&self, app: AppId) -> Vec<Box<dyn App>> {
         app.datasets().iter().map(|&d| self.build(app, d)).collect()
+    }
+
+    /// Generates the scaled matrix this suite would feed to `app` on
+    /// `dataset` — the exact bytes [`Suite::build`] constructs its
+    /// formats from, so the planner can probe what the experiment will
+    /// run. (Conv builds from layer descriptors, not a matrix, and is
+    /// not covered.)
+    pub fn build_matrix_for(&self, app: AppId, dataset: Dataset) -> capstan_tensor::Coo {
+        dataset.generate_scaled(self.scale_for(app))
     }
 }
 
@@ -320,6 +353,34 @@ mod tests {
             assert_eq!(instance.name(), app.name());
             let report = instance.simulate(&cfg);
             assert!(report.cycles > 0, "{} produced zero cycles", app.name());
+        }
+    }
+
+    #[test]
+    fn planned_builds_replace_only_the_format_generic_spmv() {
+        let suite = Suite::small();
+        // Fixed mode is the hardcoded constructor set, byte-compatible
+        // with `build` under the process default.
+        for app in AppId::ALL {
+            let fixed = suite.build_planned(app, app.datasets()[0], PlanMode::Fixed);
+            assert_eq!(fixed.name(), app.name());
+        }
+        // Auto mode: the CSR slot follows the static suggestion; every
+        // other app keeps its identity.
+        let cfg = capstan_core::config::CapstanConfig::paper_default();
+        for app in AppId::ALL {
+            let auto = suite.build_planned(app, app.datasets()[0], PlanMode::Auto);
+            if app == AppId::CsrSpmv {
+                let m = suite.build_matrix_for(app, app.datasets()[0]);
+                let suggestion = TensorStats::compute(&m).suggest();
+                match capstan_plan::build_spmv(&m, suggestion) {
+                    Some(planned) => assert_eq!(auto.name(), planned.name()),
+                    None => assert_eq!(auto.name(), app.name(), "CSR fallback"),
+                }
+            } else {
+                assert_eq!(auto.name(), app.name());
+            }
+            assert!(auto.simulate(&cfg).cycles > 0);
         }
     }
 

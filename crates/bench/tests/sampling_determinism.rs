@@ -91,6 +91,24 @@ fn recorded_replay_reports_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn planner_reports_are_identical_across_thread_counts_and_runs() {
+    // The planner experiment — per-dataset stats, quarter-scale probe
+    // plans, full-scale rankings, and the regret table — is part of
+    // byte-diffed reports and content-addressed cache keys, so its
+    // output must be byte-identical across worker counts and across
+    // repeated runs in one process.
+    let suite = Suite::small();
+    let serial = capstan_bench::experiments::planner_with_threads(&suite, 1);
+    assert!(serial.contains("median regret:"), "report has the summary");
+    for threads in [2usize, 4] {
+        let parallel = capstan_bench::experiments::planner_with_threads(&suite, threads);
+        assert_eq!(serial, parallel, "planner drifted on {threads} workers");
+    }
+    let rerun = capstan_bench::experiments::planner_with_threads(&suite, 1);
+    assert_eq!(serial, rerun, "planner drifted across repeated runs");
+}
+
+#[test]
 fn multi_tenant_reports_are_identical_across_thread_counts() {
     // The tenant-interleaved driver adds per-tenant cursors, a weighted
     // round-robin schedule, and per-tenant stat attribution on top of

@@ -54,6 +54,43 @@ pub enum MemAddressing {
     Recorded,
 }
 
+/// Where a run's format/memory configuration comes from: fixed by hand
+/// (flags and hardcoded experiment choices — the historical default) or
+/// derived per-dataset by the planning layer (`capstan-plan`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Configurations are taken verbatim from flags and experiment code
+    /// — the mode every committed golden value was captured under.
+    #[default]
+    Fixed,
+    /// The planner derives the sparse format (and, in the serving layer,
+    /// the memory configuration) from per-dataset statistics
+    /// (`capstan_tensor::stats`). Planned runs form their own bench
+    /// record group (`+plan`): the planner may legitimately pick a
+    /// different format than the hardcoded one, so cycle counts can
+    /// differ by design.
+    Auto,
+}
+
+impl PlanMode {
+    /// Canonical one-word name (see [`MemTiming::tag`]).
+    pub fn tag(self) -> &'static str {
+        match self {
+            PlanMode::Fixed => "fixed",
+            PlanMode::Auto => "auto",
+        }
+    }
+
+    /// Parses [`tag`](Self::tag)'s spelling; `None` for anything else.
+    pub fn parse(s: &str) -> Option<PlanMode> {
+        match s {
+            "fixed" => Some(PlanMode::Fixed),
+            "auto" => Some(PlanMode::Auto),
+            _ => None,
+        }
+    }
+}
+
 impl MemTiming {
     /// Canonical one-word name — the `--mem` CLI value, the wire-protocol
     /// field value, and the token hashed into content-addressed cache
@@ -97,17 +134,19 @@ impl MemAddressing {
 
 /// The bench-row suffix a memory configuration runs under: `+cycle` for
 /// the cycle-level timing mode, `+rec` for recorded addressing, `+chN`
-/// for N > 1 region channels, `+mtN` for N > 1 memory tenants,
-/// concatenated in that fixed order. Rows with different suffixes form
-/// separate record groups (their simulated cycles intentionally differ),
-/// so every place that names a row — the `experiments` CLI, its resume
-/// journal, and the serving layer's shard/merge protocol — must derive
-/// the suffix identically; this is the one definition they all share.
+/// for N > 1 region channels, `+mtN` for N > 1 memory tenants, `+plan`
+/// for planner-derived configurations, concatenated in that fixed
+/// order. Rows with different suffixes form separate record groups
+/// (their simulated cycles intentionally differ), so every place that
+/// names a row — the `experiments` CLI, its resume journal, and the
+/// serving layer's shard/merge protocol — must derive the suffix
+/// identically; this is the one definition they all share.
 pub fn mem_record_suffix(
     timing: MemTiming,
     addressing: MemAddressing,
     channels: usize,
     tenants: usize,
+    plan: PlanMode,
 ) -> String {
     let mut suffix = String::new();
     if timing == MemTiming::CycleLevel {
@@ -121,6 +160,9 @@ pub fn mem_record_suffix(
     }
     if tenants > 1 {
         suffix.push_str(&format!("+mt{tenants}"));
+    }
+    if plan == PlanMode::Auto {
+        suffix.push_str("+plan");
     }
     suffix
 }
@@ -236,6 +278,32 @@ pub fn set_default_mem_tenants(tenants: usize) {
 /// default to.
 pub fn default_mem_tenants() -> usize {
     DEFAULT_MEM_TENANTS.load(Ordering::Relaxed)
+}
+
+/// Process-wide default plan mode (0 = fixed, 1 = auto).
+static DEFAULT_PLAN_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the plan mode the process runs under (the `experiments --plan`
+/// flag). Like [`set_default_mem_timing`], intended to be called
+/// **once, at process start**; flipping it mid-run would let one sweep
+/// mix planned and hand-fixed configurations under a single record
+/// suffix.
+pub fn set_default_plan_mode(mode: PlanMode) {
+    DEFAULT_PLAN_MODE.store(
+        match mode {
+            PlanMode::Fixed => 0,
+            PlanMode::Auto => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The plan mode the process runs under.
+pub fn default_plan_mode() -> PlanMode {
+    match DEFAULT_PLAN_MODE.load(Ordering::Relaxed) {
+        0 => PlanMode::Fixed,
+        _ => PlanMode::Auto,
+    }
 }
 
 /// Full configuration of a simulated Capstan system.
@@ -471,9 +539,24 @@ mod tests {
         for addressing in [MemAddressing::Synthetic, MemAddressing::Recorded] {
             assert_eq!(MemAddressing::parse(addressing.tag()), Some(addressing));
         }
+        for plan in [PlanMode::Fixed, PlanMode::Auto] {
+            assert_eq!(PlanMode::parse(plan.tag()), Some(plan));
+        }
         assert_eq!(MemTiming::parse("psychic"), None);
         assert_eq!(MemTiming::parse("Analytic"), None);
         assert_eq!(MemAddressing::parse("vibes"), None);
+        assert_eq!(PlanMode::parse("Auto"), None);
+        assert_eq!(PlanMode::parse("manual"), None);
+    }
+
+    #[test]
+    fn plan_mode_defaults_to_fixed() {
+        // Every golden value was captured with hand-fixed configurations;
+        // the process-wide default must not drift. (As with the timing
+        // mode, no test may call `set_default_plan_mode` — tests share
+        // one process.)
+        assert_eq!(PlanMode::default(), PlanMode::Fixed);
+        assert_eq!(default_plan_mode(), PlanMode::Fixed);
     }
 
     #[test]
@@ -483,19 +566,37 @@ mod tests {
         // ungated record group.
         use MemAddressing::*;
         use MemTiming::*;
-        assert_eq!(mem_record_suffix(Analytic, Synthetic, 1, 1), "");
-        assert_eq!(mem_record_suffix(CycleLevel, Synthetic, 1, 1), "+cycle");
-        assert_eq!(mem_record_suffix(CycleLevel, Recorded, 1, 1), "+cycle+rec");
-        assert_eq!(mem_record_suffix(CycleLevel, Synthetic, 4, 1), "+cycle+ch4");
-        assert_eq!(mem_record_suffix(Analytic, Synthetic, 4, 1), "+ch4");
+        use PlanMode::*;
+        assert_eq!(mem_record_suffix(Analytic, Synthetic, 1, 1, Fixed), "");
         assert_eq!(
-            mem_record_suffix(CycleLevel, Recorded, 2, 1),
+            mem_record_suffix(CycleLevel, Synthetic, 1, 1, Fixed),
+            "+cycle"
+        );
+        assert_eq!(
+            mem_record_suffix(CycleLevel, Recorded, 1, 1, Fixed),
+            "+cycle+rec"
+        );
+        assert_eq!(
+            mem_record_suffix(CycleLevel, Synthetic, 4, 1, Fixed),
+            "+cycle+ch4"
+        );
+        assert_eq!(mem_record_suffix(Analytic, Synthetic, 4, 1, Fixed), "+ch4");
+        assert_eq!(
+            mem_record_suffix(CycleLevel, Recorded, 2, 1, Fixed),
             "+cycle+rec+ch2"
         );
-        assert_eq!(mem_record_suffix(CycleLevel, Synthetic, 1, 2), "+cycle+mt2");
         assert_eq!(
-            mem_record_suffix(CycleLevel, Recorded, 4, 3),
+            mem_record_suffix(CycleLevel, Synthetic, 1, 2, Fixed),
+            "+cycle+mt2"
+        );
+        assert_eq!(
+            mem_record_suffix(CycleLevel, Recorded, 4, 3, Fixed),
             "+cycle+rec+ch4+mt3"
+        );
+        assert_eq!(mem_record_suffix(Analytic, Synthetic, 1, 1, Auto), "+plan");
+        assert_eq!(
+            mem_record_suffix(CycleLevel, Recorded, 4, 3, Auto),
+            "+cycle+rec+ch4+mt3+plan"
         );
     }
 

@@ -16,8 +16,8 @@
 //! ```
 //!
 //! `NAMES` are `table4..table13`, `table13-atomics`, `table13-channels`,
-//! `table13-recorded`, `fig4..fig7`, `ablations`, `extensions`, or
-//! `all` (the default). Repeated names are deduplicated (first
+//! `table13-recorded`, `fig4..fig7`, `ablations`, `extensions`,
+//! `planner`, or `all` (the default). Repeated names are deduplicated (first
 //! occurrence wins), so `experiments fig7 fig7` cannot write duplicate
 //! bench rows that would later confuse `bench-gate`'s record matching.
 //! Unknown `--flags` and flags missing their value are rejected with a
@@ -68,8 +68,16 @@
 //! modes are bit-identical in simulated cycles — rows stay comparable
 //! and only `cycles_per_second` moves. The `CAPSTAN_MEM_FASTFORWARD`
 //! environment variable overrides the flag (useful for A/B-ing a
-//! build without changing its command line). `--bench-base PATH` seeds
-//! the written record
+//! build without changing its command line). `--plan auto` routes the
+//! format-generic experiment slots through the density-driven planner
+//! (`capstan_plan`): each matrix's statistics pick its sparse format
+//! via `TensorStats::suggest`, and every row gains a `+plan` suffix —
+//! planned rows are their own record group because a re-planned format
+//! legitimately simulates a different cycle count. In `--submit` mode
+//! `--plan auto` instead sends dataset statistics to the server and
+//! lets *it* plan the memory configuration (so `--mem`/
+//! `--mem-addresses`/`--mem-channels` are rejected alongside it).
+//! `--bench-base PATH` seeds the written record
 //! with an existing baseline's rows (same-name rows replaced, via
 //! `capstan_bench::gate::merge` — duplicate row names or a scale
 //! conflict on either side are loud errors, never a silently shadowed
@@ -117,8 +125,8 @@ use capstan_bench::gate::{self, BenchEntry, BenchRecord};
 use capstan_bench::Suite;
 use capstan_core::config::{
     mem_record_suffix, set_default_mem_addressing, set_default_mem_channels,
-    set_default_mem_fast_forward, set_default_mem_tenants, set_default_mem_timing, MemAddressing,
-    MemTiming,
+    set_default_mem_fast_forward, set_default_mem_tenants, set_default_mem_timing,
+    set_default_plan_mode, MemAddressing, MemTiming, PlanMode,
 };
 use capstan_serve::client;
 use capstan_serve::key::RunSpec;
@@ -130,11 +138,11 @@ use std::time::Instant;
 const USAGE: &str = "usage: experiments [NAMES...] \
 [--scale small|medium|large|la=F,graph=F,spmspm=F,conv=F] \
 [--mem analytic|cycle] [--mem-addresses synthetic|recorded] [--mem-channels N] \
-[--mem-tenants N] [--mem-fastforward on|off] [--bench-out PATH] [--bench-base PATH] \
-[--no-bench-out] [--resume DIR]
+[--mem-tenants N] [--mem-fastforward on|off] [--plan fixed|auto] [--bench-out PATH] \
+[--bench-base PATH] [--no-bench-out] [--resume DIR]
        experiments --serve ADDR [--serve-shards N] [--serve-workdir DIR]
        experiments [NAMES...] --submit ADDR [--scale SPEC] [--mem MODE] \
-[--mem-addresses MODE] [--mem-channels N] [--mem-tenants N]
+[--mem-addresses MODE] [--mem-channels N] [--mem-tenants N] [--plan fixed|auto]
        experiments --serve-stats ADDR
        experiments --serve-shutdown ADDR";
 
@@ -157,6 +165,9 @@ struct Cli {
     /// `--mem-fastforward` override (no bench-row suffix: the two drain
     /// modes are bit-identical in simulated cycles).
     mem_fast_forward: Option<bool>,
+    /// `--plan` override: `auto` routes format-generic experiment
+    /// slots through the density-driven planner and tags rows `+plan`.
+    plan: Option<PlanMode>,
     bench_out: Option<String>,
     bench_base: Option<String>,
     no_bench_out: bool,
@@ -240,6 +251,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("unknown fast-forward mode `{other}` (on|off)")),
                 });
             }
+            "--plan" => {
+                let raw = value("--plan", &mut it)?;
+                cli.plan = Some(
+                    PlanMode::parse(&raw)
+                        .ok_or_else(|| format!("unknown plan mode `{raw}` (fixed|auto)"))?,
+                );
+            }
             "--bench-out" => cli.bench_out = Some(value("--bench-out", &mut it)?),
             "--bench-base" => cli.bench_base = Some(value("--bench-base", &mut it)?),
             "--no-bench-out" => cli.no_bench_out = true,
@@ -302,6 +320,7 @@ fn check_modes(cli: &Cli) -> Result<(), String> {
             || cli.mem_channels.is_some()
             || cli.mem_tenants.is_some()
             || cli.mem_fast_forward.is_some()
+            || cli.plan.is_some()
             || cli.bench_out.is_some()
             || cli.bench_base.is_some()
             || cli.no_bench_out
@@ -322,6 +341,22 @@ fn check_modes(cli: &Cli) -> Result<(), String> {
         return Err(
             "--submit cannot combine with --bench-out/--bench-base/--no-bench-out/--resume/\
              --mem-fastforward (the server owns recording, resume, and drain mode)"
+                .to_string(),
+        );
+    }
+    // A planned submission delegates the memory configuration to the
+    // server (the protocol enforces the same rule on the wire); a
+    // hand-spelled configuration alongside `--plan auto` would be
+    // silently overridden by the planner. Direct (local) runs keep the
+    // combination: the server's own workers are spawned with the
+    // materialized flags plus `--plan auto` for the row suffix.
+    if cli.submit.is_some()
+        && cli.plan == Some(PlanMode::Auto)
+        && (cli.mem.is_some() || cli.mem_addresses.is_some() || cli.mem_channels.is_some())
+    {
+        return Err(
+            "--submit --plan auto cannot combine with --mem/--mem-addresses/--mem-channels \
+             (the server's planner chooses the memory configuration)"
                 .to_string(),
         );
     }
@@ -445,6 +480,17 @@ fn run_submit(cli: &Cli) -> ! {
     if which.is_empty() {
         which.push("all".to_string());
     }
+    // A planned submission ships dataset statistics instead of a memory
+    // configuration (check_modes already rejected explicit --mem/...).
+    // The suite's anchor linear-algebra dataset at the submitted scale
+    // stands in for the sweep: its stats are a pure function of the
+    // scale spec, so identical submissions plan — and content-address —
+    // identically.
+    let stats = (cli.plan == Some(PlanMode::Auto)).then(|| {
+        let suite = Suite::parse(&scale).unwrap_or_else(|e| die(&e));
+        let m = capstan_tensor::gen::Dataset::Ckt11752.generate_scaled(suite.la_scale);
+        capstan_tensor::stats::TensorStats::compute(&m).encode()
+    });
     let specs: Vec<RunSpec> = expand_and_dedup(&which)
         .iter()
         .map(|name| {
@@ -454,6 +500,8 @@ fn run_submit(cli: &Cli) -> ! {
             spec.addresses = cli.mem_addresses.unwrap_or_default();
             spec.channels = cli.mem_channels.unwrap_or(1);
             spec.tenants = cli.mem_tenants.unwrap_or(1);
+            spec.plan = cli.plan.unwrap_or_default();
+            spec.stats = stats.clone();
             spec
         })
         .collect();
@@ -538,11 +586,15 @@ fn main() {
     if let Some(enabled) = cli.mem_fast_forward {
         set_default_mem_fast_forward(enabled);
     }
+    if let Some(mode) = cli.plan {
+        set_default_plan_mode(mode);
+    }
     let suffix = mem_record_suffix(
         cli.mem.unwrap_or_default(),
         cli.mem_addresses.unwrap_or_default(),
         cli.mem_channels.unwrap_or(1),
         cli.mem_tenants.unwrap_or(1),
+        cli.plan.unwrap_or_default(),
     );
 
     let mut which = cli.which;
@@ -750,6 +802,7 @@ mod tests {
             "--mem-channels",
             "--mem-tenants",
             "--mem-fastforward",
+            "--plan",
             "--bench-out",
             "--bench-base",
             "--resume",
@@ -833,6 +886,53 @@ mod tests {
     fn repeated_flags_keep_last_one_wins() {
         let cli = parse_args(&args(&["--mem", "cycle", "--mem", "analytic"])).unwrap();
         assert_eq!(cli.mem, Some(MemTiming::Analytic));
+    }
+
+    #[test]
+    fn plan_flag_parses_and_is_policed_per_mode() {
+        let cli = parse_args(&args(&["planner", "--plan", "auto"])).unwrap();
+        assert_eq!(cli.plan, Some(PlanMode::Auto));
+        assert!(parse_args(&args(&["--plan", "maybe"])).is_err());
+        assert!(parse_args(&args(&["--plan"])).is_err());
+        // Direct runs may combine --plan auto with memory flags (the
+        // server's own workers do exactly that); submissions may not.
+        assert!(parse_args(&args(&["fig7", "--plan", "auto", "--mem-channels", "4"])).is_ok());
+        for bad in [
+            vec![
+                "fig7", "--submit", "a:1", "--plan", "auto", "--mem", "cycle",
+            ],
+            vec![
+                "fig7",
+                "--submit",
+                "a:1",
+                "--plan",
+                "auto",
+                "--mem-addresses",
+                "recorded",
+            ],
+            vec![
+                "fig7",
+                "--submit",
+                "a:1",
+                "--plan",
+                "auto",
+                "--mem-channels",
+                "4",
+            ],
+        ] {
+            let err = parse_args(&args(&bad)).unwrap_err();
+            assert!(err.contains("--submit --plan auto"), "{bad:?}: {err}");
+        }
+        // --plan fixed alongside memory flags stays fine in submit mode.
+        assert!(parse_args(&args(&[
+            "fig7", "--submit", "a:1", "--plan", "fixed", "--mem", "cycle"
+        ]))
+        .is_ok());
+        // Serve verbs take no run flags; --plan is a run flag.
+        let err = parse_args(&args(&["--serve", "a:1", "--plan", "auto"])).unwrap_err();
+        assert!(err.contains("takes no run flags"), "{err}");
+        let err = parse_args(&args(&["--serve-stats", "a:1", "--plan", "auto"])).unwrap_err();
+        assert!(err.contains("takes no run flags"), "{err}");
     }
 
     #[test]

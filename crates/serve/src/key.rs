@@ -11,12 +11,12 @@
 //! spellings, and distinct under any single-field change.
 
 use capstan_bench::Suite;
-use capstan_core::config::{mem_record_suffix, MemAddressing, MemTiming};
+use capstan_core::config::{mem_record_suffix, MemAddressing, MemTiming, PlanMode};
 use capstan_sim::snapshot::{fnv1a_64, SnapshotWriter};
 
 /// Versioned domain tag mixed into every cache key; bump on any change
 /// to the canonical encoding so stale keys can never alias new ones.
-const KEY_TAG: &str = "capstan-serve-key/v2";
+const KEY_TAG: &str = "capstan-serve-key/v3";
 
 /// One fully specified experiment request: the unit the server queues,
 /// batches, caches, and shards.
@@ -39,6 +39,18 @@ pub struct RunSpec {
     pub channels: usize,
     /// Memory-tenant count (`--mem-tenants`).
     pub tenants: usize,
+    /// Where the memory configuration came from (`--plan`): `Fixed`
+    /// requests carry it in the fields above; `Auto` requests arrive
+    /// with dataset statistics instead, and the server materializes the
+    /// planner's choice into those fields before keying. The mode joins
+    /// the key (planned rows form their own `+plan` record group); the
+    /// raw stats blob does not — two submissions whose stats plan to
+    /// the same configuration address the same cached result.
+    pub plan: PlanMode,
+    /// The encoded `capstan_tensor::stats::TensorStats` blob an `Auto`
+    /// submission carried (`None` on fixed requests). Kept for the
+    /// planner, never hashed.
+    pub stats: Option<String>,
 }
 
 impl RunSpec {
@@ -53,6 +65,8 @@ impl RunSpec {
             addresses: MemAddressing::default(),
             channels: 1,
             tenants: 1,
+            plan: PlanMode::default(),
+            stats: None,
         }
     }
 
@@ -64,7 +78,13 @@ impl RunSpec {
     /// The bench-row suffix this memory configuration runs under
     /// (shared definition: [`mem_record_suffix`]).
     pub fn suffix(&self) -> String {
-        mem_record_suffix(self.mem, self.addresses, self.channels, self.tenants)
+        mem_record_suffix(
+            self.mem,
+            self.addresses,
+            self.channels,
+            self.tenants,
+            self.plan,
+        )
     }
 
     /// The bench-record row name this spec produces: the experiment
@@ -91,6 +111,13 @@ impl RunSpec {
         write_str(&mut w, self.addresses.tag());
         w.write_u64(self.channels as u64);
         w.write_u64(self.tenants as u64);
+        // The plan *mode* is keyed (planned rows are their own record
+        // group) but the stats blob is not: the server has already
+        // materialized the planned configuration into the hashed fields
+        // above, so any data that plans identically — or a fixed request
+        // spelling the same configuration by hand under `Auto`'s suffix —
+        // must hit the same cache line.
+        write_str(&mut w, self.plan.tag());
         Ok(fnv1a_64(w.as_bytes()))
     }
 }
@@ -142,6 +169,25 @@ mod tests {
         let mut other = base.clone();
         other.tenants = 2;
         assert_ne!(other.cache_key().unwrap(), key);
+        let mut other = base.clone();
+        other.plan = PlanMode::Auto;
+        assert_ne!(other.cache_key().unwrap(), key);
+    }
+
+    #[test]
+    fn stats_blob_is_not_keyed_but_plan_mode_is() {
+        // Two auto submissions with different stats blobs that plan to
+        // the same materialized configuration must share a cache line.
+        let mut a = RunSpec::new("fig7");
+        a.plan = PlanMode::Auto;
+        a.stats = Some("s1:10:10:5:3:2:6:4:5:4".to_string());
+        let mut b = a.clone();
+        b.stats = Some("s1:12:12:6:4:2:8:5:6:5".to_string());
+        assert_eq!(a.cache_key().unwrap(), b.cache_key().unwrap());
+        assert_ne!(
+            a.cache_key().unwrap(),
+            RunSpec::new("fig7").cache_key().unwrap()
+        );
     }
 
     #[test]
@@ -153,6 +199,8 @@ mod tests {
         assert_eq!(spec.row_name(), "table13-atomics+cycle+ch4");
         spec.tenants = 2;
         assert_eq!(spec.row_name(), "table13-atomics+cycle+ch4+mt2");
+        spec.plan = PlanMode::Auto;
+        assert_eq!(spec.row_name(), "table13-atomics+cycle+ch4+mt2+plan");
     }
 
     #[test]

@@ -16,7 +16,19 @@
 //! `synthetic`, `1`, `1`). Unknown fields, duplicated fields, unparsable
 //! values, and non-finite scale factors are all typed errors — a typo
 //! must never silently fall back to a default and simulate the wrong
-//! thing. Responses:
+//! thing.
+//!
+//! A planned submission replaces the memory-configuration fields with
+//! dataset statistics and lets the server choose:
+//!
+//! ```text
+//! capstan-serve/v1 SUBMIT experiment=planner plan=auto stats=s1:4096:4096:163840:4096:40:1720320:81:4096:28561
+//! ```
+//!
+//! `plan=auto` **requires** `stats=` (an encoded
+//! [`capstan_tensor::stats::TensorStats`] blob) and **rejects** explicit
+//! `mem=`/`addresses=`/`channels=` — the planner owns those choices —
+//! while `stats=` without `plan=auto` is equally an error. Responses:
 //!
 //! ```text
 //! capstan-serve/v1 OK cache=miss key=<16 hex> name=fig7+cycle cycles=365168 wall=<16 hex> cps=<16 hex> report=<len>
@@ -40,7 +52,8 @@ use crate::key::RunSpec;
 use capstan_bench::experiments as exp;
 use capstan_bench::gate::BenchEntry;
 use capstan_bench::Suite;
-use capstan_core::config::{MemAddressing, MemTiming};
+use capstan_core::config::{MemAddressing, MemTiming, PlanMode};
+use capstan_tensor::stats::TensorStats;
 use std::io::Read;
 
 /// Protocol magic + version token opening every frame; bump on any wire
@@ -266,6 +279,20 @@ fn parse_submit(fields: &[&str]) -> Result<RunSpec, ProtoError> {
                         ))
                     })?;
             }
+            "plan" => {
+                spec.plan = PlanMode::parse(value).ok_or_else(|| {
+                    ProtoError::BadRequest(format!("unknown plan mode `{value}` (fixed|auto)"))
+                })?;
+            }
+            "stats" => {
+                if TensorStats::parse(value).is_none() {
+                    return Err(ProtoError::BadRequest(format!(
+                        "stats blob `{}` is not a valid encoded TensorStats",
+                        truncate_for_log(value)
+                    )));
+                }
+                spec.stats = Some(value.to_string());
+            }
             other => {
                 return Err(ProtoError::BadRequest(format!(
                     "unknown field `{}`",
@@ -279,12 +306,47 @@ fn parse_submit(fields: &[&str]) -> Result<RunSpec, ProtoError> {
             "SUBMIT needs an experiment= field".to_string(),
         ));
     }
+    // Field-combination rules for planned submissions: `plan=auto`
+    // delegates the memory configuration to the server, so it must
+    // carry the statistics the planner needs and must not also spell a
+    // configuration by hand; a stray `stats=` on a fixed request would
+    // be silently ignored, which this protocol never does.
+    if spec.plan == PlanMode::Auto {
+        if spec.stats.is_none() {
+            return Err(ProtoError::BadRequest(
+                "plan=auto needs a stats= field".to_string(),
+            ));
+        }
+        for planned in ["mem", "addresses", "channels"] {
+            if seen.contains(planned) {
+                return Err(ProtoError::BadRequest(format!(
+                    "plan=auto chooses the memory configuration; drop `{planned}=`"
+                )));
+            }
+        }
+    } else if spec.stats.is_some() {
+        return Err(ProtoError::BadRequest(
+            "stats= is only meaningful with plan=auto".to_string(),
+        ));
+    }
     Ok(spec)
 }
 
 /// Formats a `SUBMIT` frame for `spec` (canonical field order; the
-/// server accepts any order).
+/// server accepts any order). Planned specs emit `plan=auto stats=...`
+/// and omit the memory-configuration fields the planner owns — the
+/// frame must satisfy the same combination rules `parse_submit`
+/// enforces.
 pub fn format_submit(spec: &RunSpec) -> String {
+    if spec.plan == PlanMode::Auto {
+        return format!(
+            "{MAGIC} SUBMIT experiment={} scale={} tenants={} plan=auto stats={}\n",
+            spec.experiment,
+            spec.scale,
+            spec.tenants,
+            spec.stats.as_deref().unwrap_or("")
+        );
+    }
     format!(
         "{MAGIC} SUBMIT experiment={} scale={} mem={} addresses={} channels={} tenants={}\n",
         spec.experiment,
@@ -539,6 +601,63 @@ mod tests {
         // Explicit tenants parse and land in the spec.
         let Request::Submit(mt) = parse_request(&format!(
             "{MAGIC} SUBMIT experiment=fig7 mem=cycle tenants=2"
+        ))
+        .unwrap() else {
+            panic!("not a submit")
+        };
+        assert_eq!(mt.tenants, 2);
+    }
+
+    #[test]
+    fn planned_submits_parse_validate_and_round_trip() {
+        // A valid blob: 4x4, 4 nnz on the diagonal.
+        let blob = "s1:4:4:4:4:1:4:1:1:4";
+        let Request::Submit(spec) = parse_request(&format!(
+            "{MAGIC} SUBMIT experiment=planner plan=auto stats={blob}"
+        ))
+        .unwrap() else {
+            panic!("not a submit")
+        };
+        assert_eq!(spec.plan, PlanMode::Auto);
+        assert_eq!(spec.stats.as_deref(), Some(blob));
+        // format_submit emits the planned form and it re-parses equal.
+        let line = format_submit(&spec);
+        assert!(line.contains("plan=auto"), "{line}");
+        assert!(!line.contains("mem="), "{line}");
+        assert_eq!(
+            parse_request(line.trim_end()).unwrap(),
+            Request::Submit(spec)
+        );
+        // An explicit plan=fixed is accepted and is the default.
+        let Request::Submit(fixed) =
+            parse_request(&format!("{MAGIC} SUBMIT experiment=planner plan=fixed")).unwrap()
+        else {
+            panic!("not a submit")
+        };
+        assert_eq!(fixed, RunSpec::new("planner"));
+
+        // Combination and value errors.
+        let cases: &[&str] = &[
+            // auto without stats
+            &format!("{MAGIC} SUBMIT experiment=planner plan=auto"),
+            // stats without auto
+            &format!("{MAGIC} SUBMIT experiment=planner stats={blob}"),
+            // auto with a hand-spelled memory configuration
+            &format!("{MAGIC} SUBMIT experiment=planner plan=auto stats={blob} mem=cycle"),
+            &format!("{MAGIC} SUBMIT experiment=planner plan=auto stats={blob} addresses=recorded"),
+            &format!("{MAGIC} SUBMIT experiment=planner plan=auto stats={blob} channels=4"),
+            // bad values
+            &format!("{MAGIC} SUBMIT experiment=planner plan=maybe"),
+            &format!("{MAGIC} SUBMIT experiment=planner plan=auto stats=s1:bogus"),
+            &format!("{MAGIC} SUBMIT experiment=planner plan=auto stats=s0:4:4:4:4:1:4:1:1:4"),
+        ];
+        for line in cases {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code(), "bad-request", "{line} -> {err}");
+        }
+        // tenants stays a fixed-side knob: the planner does not own it.
+        let Request::Submit(mt) = parse_request(&format!(
+            "{MAGIC} SUBMIT experiment=planner plan=auto stats={blob} tenants=2"
         ))
         .unwrap() else {
             panic!("not a submit")

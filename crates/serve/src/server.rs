@@ -2,8 +2,8 @@
 //!
 //! One scheduler thread drains a pending-job queue in batches; each
 //! batch is grouped by *compatible configuration* — identical `(scale,
-//! mem, addresses, channels, tenants)`, i.e. jobs that one `experiments` worker
-//! invocation can run together — and each group fans out across up to
+//! mem, addresses, channels, tenants, plan)`, i.e. jobs that one `experiments`
+//! worker invocation can run together — and each group fans out across up to
 //! [`ServerConfig::shards`] worker **processes** driven concurrently by
 //! `capstan_par::par_map_threads`. Workers are plain `experiments`
 //! subprocess invocations with `--resume <journal>` and `--bench-out
@@ -30,7 +30,9 @@ use crate::proto::{self, FrameReader, ProtoError, Request, MAGIC};
 use capstan_bench::experiments as exp;
 use capstan_bench::gate::{self, BenchRecord};
 use capstan_bench::journal::Journal;
-use capstan_core::config::{MemAddressing, MemTiming};
+use capstan_core::config::{MemAddressing, MemTiming, PlanMode};
+use capstan_plan::PlannedConfig;
+use capstan_tensor::stats::TensorStats;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -102,6 +104,8 @@ struct Counters {
     worker_retries: u64,
     rows_resumed: u64,
     errors: u64,
+    plans_computed: u64,
+    plan_cache_hits: u64,
 }
 
 /// One queued job.
@@ -121,6 +125,11 @@ struct State {
     inflight: HashSet<u64>,
     waiters: HashMap<u64, Vec<mpsc::Sender<Delivery>>>,
     counters: Counters,
+    /// Memoized planner decisions keyed by the raw stats blob: the
+    /// planner is a pure function of the statistics, so a dataset
+    /// resubmitted with identical stats reuses its plan (and, because
+    /// the blob never joins the cache key, its cached result too).
+    plan_cache: HashMap<String, PlannedConfig>,
 }
 
 /// Everything the scheduler, handlers, and shard runners share.
@@ -291,7 +300,8 @@ fn stats_line(shared: &Arc<Shared>) -> String {
     let c = &st.counters;
     format!(
         "{MAGIC} STATS submits={} cache_hits={} coalesced={} misses={} batches={} \
-         worker_spawns={} worker_retries={} rows_resumed={} errors={}\n",
+         worker_spawns={} worker_retries={} rows_resumed={} errors={} \
+         plans_computed={} plan_cache_hits={}\n",
         c.submits,
         st.cache.hits(),
         c.coalesced,
@@ -300,7 +310,9 @@ fn stats_line(shared: &Arc<Shared>) -> String {
         c.worker_spawns,
         c.worker_retries,
         c.rows_resumed,
-        c.errors
+        c.errors,
+        c.plans_computed,
+        c.plan_cache_hits
     )
 }
 
@@ -309,8 +321,39 @@ fn stats_line(shared: &Arc<Shared>) -> String {
 /// work. Blocks until the outcome is delivered.
 fn submit(
     shared: &Arc<Shared>,
-    spec: RunSpec,
+    mut spec: RunSpec,
 ) -> Result<(&'static str, u64, Arc<JobOutcome>), ProtoError> {
+    // An `Auto` submission arrives with dataset statistics instead of a
+    // memory configuration; materialize the planner's choice into the
+    // spec *before* keying, so equal-planning data content-addresses
+    // the same result. Plans are memoized by the raw stats blob.
+    if spec.plan == PlanMode::Auto {
+        let blob = spec
+            .stats
+            .clone()
+            .ok_or_else(|| ProtoError::BadRequest("plan=auto needs a stats= field".to_string()))?;
+        let stats = TensorStats::parse(&blob).ok_or_else(|| {
+            ProtoError::BadRequest("stats blob is not a valid encoded TensorStats".to_string())
+        })?;
+        let planned = {
+            let mut st = shared.state.lock().expect("state lock");
+            match st.plan_cache.get(&blob).copied() {
+                Some(p) => {
+                    st.counters.plan_cache_hits += 1;
+                    p
+                }
+                None => {
+                    let p = capstan_plan::plan_request(&stats);
+                    st.counters.plans_computed += 1;
+                    st.plan_cache.insert(blob, p);
+                    p
+                }
+            }
+        };
+        spec.mem = planned.mem;
+        spec.addresses = planned.addresses;
+        spec.channels = planned.channels;
+    }
     // The protocol layer validated the scale spec, so keying cannot
     // fail on a wire request; belt-and-suspenders for direct callers.
     let key = spec.cache_key().map_err(ProtoError::BadRequest)?;
@@ -410,12 +453,13 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     for job in batch {
         let spec = &job.spec;
         let compat = format!(
-            "{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}",
             spec.scale,
             spec.mem.tag(),
             spec.addresses.tag(),
             spec.channels,
-            spec.tenants
+            spec.tenants,
+            spec.plan.tag()
         );
         groups.entry(compat).or_default().push(job);
     }
@@ -541,6 +585,12 @@ fn run_shard(
         }
         if spec0.tenants > 1 {
             cmd.arg("--mem-tenants").arg(spec0.tenants.to_string());
+        }
+        if spec0.plan == PlanMode::Auto {
+            // The server already materialized the planned configuration
+            // into the flags above; the worker still needs the mode so
+            // its rows land in the `+plan` record group.
+            cmd.args(["--plan", "auto"]);
         }
         cmd.arg("--resume")
             .arg(&journal_dir)

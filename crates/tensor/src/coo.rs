@@ -45,13 +45,15 @@ impl Coo {
     /// # Errors
     ///
     /// Returns [`FormatError::IndexOutOfBounds`] if any coordinate exceeds
-    /// the stated dimensions.
+    /// the stated dimensions, or [`FormatError::NonFiniteValue`] if any
+    /// value is NaN or infinite — such values would silently poison the
+    /// duplicate summation here and every downstream format conversion.
     pub fn from_triplets(
         rows: usize,
         cols: usize,
         mut triplets: Vec<(Index, Index, Value)>,
     ) -> Result<Self> {
-        for &(r, c, _) in &triplets {
+        for &(r, c, v) in &triplets {
             if r as usize >= rows {
                 return Err(FormatError::IndexOutOfBounds {
                     axis: 0,
@@ -64,6 +66,12 @@ impl Coo {
                     axis: 1,
                     index: c as usize,
                     extent: cols,
+                });
+            }
+            if !v.is_finite() {
+                return Err(FormatError::NonFiniteValue {
+                    row: r as usize,
+                    col: c as usize,
                 });
             }
         }
@@ -195,6 +203,14 @@ mod tests {
         assert!(matches!(err, FormatError::IndexOutOfBounds { axis: 0, .. }));
         let err = Coo::from_triplets(2, 2, vec![(0, 5, 1.0)]).unwrap_err();
         assert!(matches!(err, FormatError::IndexOutOfBounds { axis: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in [Value::NAN, Value::INFINITY, Value::NEG_INFINITY] {
+            let err = Coo::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 0, bad)]).unwrap_err();
+            assert_eq!(err, FormatError::NonFiniteValue { row: 1, col: 0 });
+        }
     }
 
     #[test]

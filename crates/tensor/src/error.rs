@@ -43,6 +43,14 @@ pub enum FormatError {
         /// Maximum the format supports.
         max: usize,
     },
+    /// A value is NaN or infinite — such values would silently poison
+    /// duplicate summation and every downstream format conversion.
+    NonFiniteValue {
+        /// Row coordinate of the offending triplet.
+        row: usize,
+        /// Column coordinate of the offending triplet.
+        col: usize,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -72,6 +80,9 @@ impl fmt::Display for FormatError {
                     f,
                     "requested capacity {requested} exceeds format maximum {max}"
                 )
+            }
+            FormatError::NonFiniteValue { row, col } => {
+                write!(f, "non-finite value at ({row}, {col})")
             }
         }
     }
@@ -106,6 +117,7 @@ mod tests {
                 requested: 1 << 20,
                 max: 262_144,
             },
+            FormatError::NonFiniteValue { row: 1, col: 2 },
         ];
         for e in errs {
             let s = e.to_string();

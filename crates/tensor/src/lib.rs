@@ -29,6 +29,8 @@
 //! * [`mm`] — a Matrix Market loader so real datasets can be substituted.
 //! * [`partition`] — balanced graph partitioning (Metis stand-in) and
 //!   round-robin linear-algebra tiling.
+//! * [`stats`] — per-dataset statistics ([`TensorStats`]) and the unified
+//!   format descriptor ([`FormatClass`]) that drive the planning layer.
 //!
 //! # Example
 //!
@@ -56,6 +58,7 @@ pub mod error;
 pub mod gen;
 pub mod mm;
 pub mod partition;
+pub mod stats;
 
 pub use bittree::BitTree;
 pub use bitvec::BitVec;
@@ -64,6 +67,7 @@ pub use csc::Csc;
 pub use csr::Csr;
 pub use dense::{DenseMatrix, DenseVector};
 pub use error::{FormatError, Result};
+pub use stats::{FormatClass, TensorStats};
 
 /// The scalar element type used throughout the simulator.
 ///

@@ -19,6 +19,8 @@
 //!   methodology.
 //! * [`apps`] — the eleven paper applications (SpMV ×3, Conv, PageRank ×2,
 //!   BFS, SSSP, M+M, SpMSpM, BiCGStab).
+//! * [`plan`] — the density-driven planner: ranks candidate
+//!   (format, memory) configurations from per-dataset statistics.
 //! * [`baselines`] — Plasticine, CPU, GPU, and sparse-ASIC baselines.
 //!
 //! # Quickstart
@@ -41,5 +43,6 @@ pub use capstan_apps as apps;
 pub use capstan_arch as arch;
 pub use capstan_baselines as baselines;
 pub use capstan_core as core;
+pub use capstan_plan as plan;
 pub use capstan_sim as sim;
 pub use capstan_tensor as tensor;
